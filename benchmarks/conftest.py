@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Networks and engines are session-scoped: each bench measures the
+query/experiment work, not dataset generation (generation cost is
+measured explicitly in ``test_bench_datasets.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.acm import make_acm_network
+from repro.datasets.dblp import make_dblp_four_area
+
+
+@pytest.fixture(scope="session")
+def acm():
+    return make_acm_network(seed=0)
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    return make_dblp_four_area(seed=0)
+
+
+@pytest.fixture(scope="session")
+def acm_engine(acm):
+    """A pre-warmed engine: half matrices for the case-study paths are
+    materialised once so benches measure the on-line query cost."""
+    engine = HeteSimEngine(acm.graph)
+    for spec in ("APVC", "APT", "APS", "APA", "CVPA", "CVPAF", "CVPS",
+                 "CVPAPVC", "APVCVPA", "CVPAPA"):
+        engine.halves(engine.path(spec))
+    return engine
+
+
+@pytest.fixture(scope="session")
+def dblp_engine(dblp):
+    engine = HeteSimEngine(dblp.graph)
+    for spec in ("CPA", "CPAPC", "APCPA", "PAPCPAP"):
+        engine.halves(engine.path(spec))
+    return engine

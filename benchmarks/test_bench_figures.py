@@ -1,0 +1,31 @@
+"""One benchmark per paper figure (Fig. 6, Fig. 7) plus the Section 4.6
+complexity experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import get_experiment
+
+
+def test_fig5_decomposition(benchmark):
+    result = benchmark(get_experiment("fig5"), seed=0)
+    assert result.data["normalized_self_below_one"] == 0
+
+
+def test_fig6_rank_difference(benchmark):
+    result = benchmark(get_experiment("fig6"), seed=0)
+    assert result.data["wins"] >= 10
+
+
+def test_fig7_reach_distribution(benchmark):
+    result = benchmark(get_experiment("fig7"), seed=0)
+    cosines = result.data["cosines_to_hub"]
+    assert cosines["peer-author-1"] > cosines["broad-author-1"]
+
+
+def test_complexity_study(benchmark):
+    result = benchmark.pedantic(
+        get_experiment("complexity"), kwargs={"seed": 0}, rounds=1,
+        iterations=1,
+    )
+    scaling = result.data["scaling"]
+    assert scaling[-1]["ratio"] > scaling[0]["ratio"]

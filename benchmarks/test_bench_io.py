@@ -1,0 +1,95 @@
+"""IO and evaluation-harness benchmarks: JSON vs npz graph persistence,
+the four-area text loader, and link-prediction evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hin.io import load_graph, load_graph_npz, save_graph, save_graph_npz
+
+
+@pytest.fixture(scope="module")
+def acm_json(acm, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "acm.json"
+    save_graph(acm.graph, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def acm_npz(acm, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("io-npz") / "acm"
+    save_graph_npz(acm.graph, directory)
+    return directory
+
+
+def test_save_json(benchmark, acm, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("save-json")
+
+    def run():
+        save_graph(acm.graph, directory / "graph.json")
+
+    benchmark(run)
+
+
+def test_load_json(benchmark, acm, acm_json):
+    graph = benchmark(load_graph, acm_json)
+    assert graph.num_nodes() == acm.graph.num_nodes()
+
+
+def test_save_npz(benchmark, acm, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("save-npz")
+
+    def run():
+        save_graph_npz(acm.graph, directory / "graph")
+
+    benchmark(run)
+
+
+def test_load_npz(benchmark, acm, acm_npz):
+    # Parallel edge insertions round-trip as accumulated weights, so
+    # compare adjacency mass rather than raw insertion counts.
+    graph = benchmark(load_graph_npz, acm_npz)
+    assert graph.adjacency("writes").sum() == acm.graph.adjacency(
+        "writes"
+    ).sum()
+
+
+def test_four_area_roundtrip(benchmark, dblp, tmp_path_factory):
+    from repro.datasets.loaders import (
+        load_dblp_four_area,
+        save_dblp_four_area,
+    )
+
+    directory = tmp_path_factory.mktemp("four-area") / "export"
+
+    def roundtrip():
+        save_dblp_four_area(dblp.graph, directory)
+        return load_dblp_four_area(directory)
+
+    graph = benchmark(roundtrip)
+    assert graph.num_nodes() == dblp.graph.num_nodes()
+
+
+def test_link_prediction_evaluation(benchmark):
+    from repro.core.engine import HeteSimEngine
+    from repro.datasets.movies import make_movie_network
+    from repro.learning.linkpred import evaluate_link_prediction
+
+    network = make_movie_network(
+        seed=0, users_per_genre=10, movies_per_genre=8, watches_per_user=6
+    )
+    engines = {}
+
+    def scorer(training, user, movie):
+        key = id(training)
+        if key not in engines:
+            engines[key] = HeteSimEngine(training)
+        return engines[key].relevance(user, movie, "UMGM")
+
+    def run():
+        return evaluate_link_prediction(
+            network.graph, "watched", scorer, holdout_fraction=0.2, seed=0
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.auc > 0.5

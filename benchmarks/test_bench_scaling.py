@@ -1,0 +1,65 @@
+"""Scaling benchmarks: HeteSim vs SimRank as the network grows
+(the Section 4.6 complexity claim), plus dataset generation cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.simrank import simrank
+from repro.core.hetesim import hetesim_matrix
+from repro.datasets.acm import make_acm_network
+from repro.datasets.dblp import make_dblp_four_area
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+
+
+def _chain_schema():
+    return NetworkSchema.from_spec(
+        types=[("a", "A"), ("b", "B"), ("c", "C")],
+        relations=[("ab", "a", "b"), ("bc", "b", "c")],
+    )
+
+
+def _graph(size):
+    return make_random_hin(
+        _chain_schema(),
+        sizes={"a": size, "b": size, "c": size},
+        edge_prob=min(1.0, 5.0 / size),
+        seed=0,
+        ensure_connected_rows=True,
+    )
+
+
+@pytest.mark.parametrize("size", [50, 100, 200])
+def test_hetesim_scaling(benchmark, size):
+    """One-path HeteSim: near-linear in edges for fixed density."""
+    graph = _graph(size)
+    path = graph.schema.path("ABCBA")
+    matrix = benchmark(hetesim_matrix, graph, path)
+    assert matrix.shape == (size, size)
+
+
+@pytest.mark.parametrize("size", [50, 100])
+def test_simrank_scaling(benchmark, size):
+    """Full SimRank: quadratic in *total* node count -- the expensive
+    baseline HeteSim's per-path computation avoids."""
+    graph = _graph(size)
+    matrix = benchmark.pedantic(
+        simrank, args=(graph,), kwargs={"iterations": 5},
+        rounds=2, iterations=1,
+    )
+    assert matrix.shape == (3 * size, 3 * size)
+
+
+def test_generate_acm_network(benchmark):
+    network = benchmark.pedantic(
+        make_acm_network, kwargs={"seed": 0}, rounds=2, iterations=1
+    )
+    assert network.graph.num_nodes("conference") == 14
+
+
+def test_generate_dblp_network(benchmark):
+    network = benchmark.pedantic(
+        make_dblp_four_area, kwargs={"seed": 0}, rounds=2, iterations=1
+    )
+    assert network.graph.num_nodes("conference") == 20

@@ -1,0 +1,53 @@
+"""One benchmark per paper table: the full experiment regeneration cost.
+
+Each bench runs the registered experiment end to end (dataset access is
+memoised, so the numbers reflect measure + ranking work).  The result's
+qualitative shape is asserted inside each bench so a regression in
+correctness fails the benchmark run too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+
+def test_table1_author_profile(benchmark):
+    result = benchmark(get_experiment("table1"), seed=0)
+    assert result.data["profiles"]["APVC"][0][0] == "KDD"
+
+
+def test_table2_conference_profile(benchmark):
+    result = benchmark(get_experiment("table2"), seed=0)
+    assert result.data["profiles"]["CVPAPVC"][0][0] == "KDD"
+
+
+def test_table3_expert_finding(benchmark):
+    result = benchmark(get_experiment("table3"), seed=0)
+    records = result.data["records"]
+    assert all(
+        r["hetesim"] == pytest.approx(r["hetesim_reverse"]) for r in records
+    )
+
+
+def test_table4_relevance_search(benchmark):
+    result = benchmark(get_experiment("table4"), seed=0)
+    assert result.data["hetesim"][0][0] == result.data["author"]
+    assert result.data["pcrw_self_rank"] > 1
+
+
+def test_table5_query_auc(benchmark):
+    result = benchmark(get_experiment("table5"), seed=0)
+    assert result.data["wins"] >= 8
+
+
+def test_table6_clustering(benchmark):
+    result = benchmark(get_experiment("table6"), seed=0)
+    records = result.data["records"]
+    assert records["paper"]["hetesim"] >= records["paper"]["pathsim"]
+
+
+def test_table7_path_semantics(benchmark):
+    result = benchmark(get_experiment("table7"), seed=0)
+    assert result.data["group_rank_cvpapa"] < result.data["group_rank_cvpa"]

@@ -1,0 +1,68 @@
+"""Clustering with HeteSim similarity matrices (the paper's Task on
+Section 5.4).
+
+Because HeteSim is symmetric and semi-metric, its relevance matrix can be
+fed directly to a clustering algorithm.  This example clusters the
+conferences, authors, and labelled papers of the synthetic DBLP four-area
+network with Normalized Cut and reports NMI against the planted areas,
+next to PathSim for comparison.
+
+Run:  python examples/clustering_four_areas.py
+"""
+
+import numpy as np
+
+from repro import HeteSimEngine
+from repro.baselines.pathsim import pathsim_matrix
+from repro.datasets import make_dblp_four_area
+from repro.learning import normalized_cut, normalized_mutual_information
+
+TASKS = {
+    "conferences": ("CPAPC", "conference"),
+    "authors": ("APCPA", "author"),
+    "papers": ("PAPCPAP", "paper"),
+}
+
+
+def labelled_nmi(similarity, keys, labels, seed=0):
+    """NCut-cluster the labelled objects and score against the areas."""
+    index = [i for i, key in enumerate(keys) if key in labels]
+    submatrix = similarity[np.ix_(index, index)]
+    predicted = normalized_cut(submatrix, 4, seed=seed)
+    truth = [labels[keys[i]] for i in index]
+    return normalized_mutual_information(truth, predicted)
+
+
+def main():
+    network = make_dblp_four_area(seed=0)
+    graph = network.graph
+    engine = HeteSimEngine(graph)
+    label_maps = {
+        "conferences": network.conference_labels,
+        "authors": network.author_labels,
+        "papers": network.paper_labels,
+    }
+
+    print("NCut clustering into 4 areas, NMI vs planted labels "
+          "(higher is better):\n")
+    print(f"{'task':13s} {'path':9s} {'HeteSim':>8s} {'PathSim':>8s}")
+    for task, (spec, type_name) in TASKS.items():
+        path = engine.path(spec)
+        keys = graph.node_keys(type_name)
+        labels = label_maps[task]
+        hetesim_nmi = labelled_nmi(
+            engine.relevance_matrix(path), keys, labels
+        )
+        pathsim_nmi = labelled_nmi(
+            pathsim_matrix(graph, path), keys, labels
+        )
+        print(f"{task:13s} {spec:9s} {hetesim_nmi:8.4f} {pathsim_nmi:8.4f}")
+
+    print("\nAs in the paper: conference and author clustering are easy,")
+    print("paper clustering is the weak spot of the PAPCPAP semantics --")
+    print("papers are judged only through their authors' conference")
+    print("profiles, a coarse proxy for topical similarity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Expert finding through relative importance (the paper's Task 2).
+
+On the synthetic ACM-like network: suppose we know the planted KDD star
+is an influential data-mining researcher.  Because HeteSim is symmetric,
+its author-conference scores are *comparable across research areas* -- so
+we can find the influential researchers of SIGMOD, SIGIR and SODA by
+looking for authors whose HeteSim score to their conference matches the
+KDD star's.  The same trick fails with asymmetric PCRW, whose two
+directions rank the pairs in conflicting orders.
+
+Run:  python examples/expert_finding.py
+"""
+
+from repro import HeteSimEngine
+from repro.baselines.pcrw import pcrw_pair
+from repro.datasets import make_acm_network
+
+
+def main():
+    network = make_acm_network(seed=0)
+    engine = HeteSimEngine(network.graph)
+    known_expert = network.personas["hub_author"]
+    reference = engine.relevance(known_expert, "KDD", "APVC")
+    print(f"Known expert: {known_expert} / KDD, HeteSim = {reference:.4f}\n")
+
+    print("Searching each community for the author whose score to their")
+    print("conference is closest to the reference (expert transfer):\n")
+    forward = engine.path("APVC")
+    backward = engine.path("CVPA")
+    for conference in ("SIGMOD", "SIGIR", "SODA", "SIGCOMM"):
+        candidates = engine.rank(conference, backward)
+        best_author, best_score = candidates[0]
+        fwd_pcrw = pcrw_pair(network.graph, forward, best_author, conference)
+        bwd_pcrw = pcrw_pair(network.graph, backward, conference, best_author)
+        marker = "<-- planted star" if best_author.endswith("-star") else ""
+        print(
+            f"{conference:9s} top author: {best_author:22s} "
+            f"HeteSim={best_score:.4f}  "
+            f"PCRW(A->C)={fwd_pcrw:.3f} PCRW(C->A)={bwd_pcrw:.4f} {marker}"
+        )
+
+    print("\nWhy symmetry matters: the young SIGCOMM persona has PCRW")
+    print("forward score 1.0 (all papers in one venue) yet a tiny backward")
+    print("score -- the two directions tell conflicting stories:\n")
+    young = network.personas["young_sigcomm"]
+    print(
+        f"{young}: HeteSim={engine.relevance(young, 'SIGCOMM', forward):.4f} "
+        f"PCRW(A->C)={pcrw_pair(network.graph, forward, young, 'SIGCOMM'):.3f} "
+        f"PCRW(C->A)={pcrw_pair(network.graph, backward, 'SIGCOMM', young):.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

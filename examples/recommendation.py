@@ -1,0 +1,95 @@
+"""User-item recommendation with HeteSim (the intro's motivating case).
+
+The paper motivates different-typed relevance with recommendation: "we
+need to know the relatedness between users and movies to make accurate
+recommendations."  This example builds a small user-movie-genre-director
+network and compares three relevance paths for the same query:
+
+* ``UMU M`` -- collaborative filtering flavour (users who watched the
+  same movies);
+* ``UMGM`` -- content flavour through genres;
+* ``UMDM`` -- content flavour through directors.
+
+It also shows Personalized PageRank as the path-blind baseline: one
+ranking, no way to steer the *semantics* of the recommendation.
+
+Run:  python examples/recommendation.py
+"""
+
+from repro import GraphBuilder, HeteSimEngine, NetworkSchema
+from repro.baselines.pagerank import ppr_rank
+
+
+def build_network():
+    schema = NetworkSchema.from_spec(
+        types=[
+            ("user", "U"), ("movie", "M"), ("genre", "G"), ("director", "D"),
+        ],
+        relations=[
+            ("watched", "user", "movie"),
+            ("has_genre", "movie", "genre"),
+            ("directed_by", "movie", "director"),
+        ],
+    )
+    watched = [
+        ("ann", "matrix"), ("ann", "inception"), ("ann", "interstellar"),
+        ("bob", "inception"), ("bob", "tenet"), ("bob", "dunkirk"),
+        ("cat", "titanic"), ("cat", "notebook"), ("cat", "inception"),
+        ("dan", "alien"), ("dan", "matrix"), ("dan", "blade_runner"),
+    ]
+    genres = [
+        ("matrix", "scifi"), ("inception", "scifi"), ("tenet", "scifi"),
+        ("interstellar", "scifi"), ("alien", "scifi"),
+        ("blade_runner", "scifi"), ("titanic", "romance"),
+        ("notebook", "romance"), ("dunkirk", "war"),
+    ]
+    directors = [
+        ("inception", "nolan"), ("tenet", "nolan"),
+        ("interstellar", "nolan"), ("dunkirk", "nolan"),
+        ("matrix", "wachowski"), ("alien", "scott"),
+        ("blade_runner", "scott"), ("titanic", "cameron"),
+        ("notebook", "cassavetes"),
+    ]
+    return (
+        GraphBuilder(schema)
+        .edges("watched", watched)
+        .edges("has_genre", genres)
+        .edges("directed_by", directors)
+        .build()
+    )
+
+
+def unseen(graph, user, ranking):
+    """Filter a movie ranking down to movies the user has not watched."""
+    seen = {movie for movie, _ in graph.out_neighbors("watched", user)}
+    return [(movie, score) for movie, score in ranking if movie not in seen]
+
+
+def main():
+    graph = build_network()
+    engine = HeteSimEngine(graph)
+    user = "ann"
+    print(f"Recommendations for {user!r} "
+          f"(watched: matrix, inception, interstellar)\n")
+
+    paths = {
+        "UMUM  (co-watchers)": "UMUM",
+        "UMGM  (same genre)": "UMGM",
+        "UMDM  (same director)": "UMDM",
+    }
+    for label, spec in paths.items():
+        ranking = unseen(graph, user, engine.rank(user, spec))
+        top = ", ".join(f"{m} ({s:.3f})" for m, s in ranking[:3])
+        print(f"{label}: {top}")
+
+    print("\nPersonalized PageRank (no path semantics, one fixed ranking):")
+    ppr = unseen(graph, user, ppr_rank(graph, "user", user, "movie"))
+    print("PPR: " + ", ".join(f"{m} ({s:.4f})" for m, s in ppr[:3]))
+
+    print("\nUser-genre affinity (different-typed relevance):")
+    for genre, score in engine.top_k(user, "UMG", k=3):
+        print(f"  {user} -> {genre}: {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Baselines the paper compares HeteSim against.
+
+PCRW (asymmetric path-constrained walk), PathSim (symmetric-path-only
+similarity), SimRank (type-blind, with the Property 5 meeting recursion),
+and Personalized PageRank (type-blind restart walk).
+"""
+
+from .globalgraph import GlobalIndex, build_global_index
+from .neighborhood import (
+    cosine_similarity_matrix,
+    jaccard_similarity_matrix,
+    neighborhood_rank,
+    scan_similarity_matrix,
+)
+from .pagerank import personalized_pagerank, ppr_rank
+from .pathsim import (
+    path_count_matrix,
+    pathsim_matrix,
+    pathsim_pair,
+    pathsim_rank,
+)
+from .pcrw import pcrw_matrix, pcrw_pair, pcrw_rank, pcrw_vector
+from .simrank import simrank, simrank_meeting_iterations, simrank_naive
+
+__all__ = [
+    "GlobalIndex",
+    "build_global_index",
+    "cosine_similarity_matrix",
+    "jaccard_similarity_matrix",
+    "neighborhood_rank",
+    "scan_similarity_matrix",
+    "path_count_matrix",
+    "pathsim_matrix",
+    "pathsim_pair",
+    "pathsim_rank",
+    "pcrw_matrix",
+    "pcrw_pair",
+    "pcrw_rank",
+    "pcrw_vector",
+    "personalized_pagerank",
+    "ppr_rank",
+    "simrank",
+    "simrank_meeting_iterations",
+    "simrank_naive",
+]

@@ -1,0 +1,252 @@
+"""General-purpose relevance-search CLI over saved graphs.
+
+Workflows::
+
+    # One relevance score.
+    python -m repro.cli query graph.json --path APC --source Tom --target KDD
+
+    # Top-k ranked search.
+    python -m repro.cli topk graph.json --path APC --source Tom -k 5
+
+    # Multi-path profiling.
+    python -m repro.cli profile graph.json --source Tom \\
+        --paths conferences=APC coauthors=APA
+
+    # Full multi-type profile with automatic path choice.
+    python -m repro.cli autoprofile graph.json --type author --key Tom
+
+    # Structural validation report.
+    python -m repro.cli validate graph.json
+
+Graphs are the JSON documents produced by
+:func:`repro.hin.io.save_graph`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.engine import HeteSimEngine
+from .hin.errors import ReproError
+from .hin.io import load_graph
+from .hin.validation import graph_report
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="HeteSim relevance search over a saved graph.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="score one object pair")
+    query.add_argument("graph", help="graph JSON file (see repro.hin.io)")
+    query.add_argument("--path", required=True, help="path spec, e.g. APC")
+    query.add_argument("--source", required=True)
+    query.add_argument("--target", required=True)
+    query.add_argument(
+        "--raw", action="store_true",
+        help="report the raw meeting probability instead of the cosine",
+    )
+
+    topk = commands.add_parser("topk", help="rank targets for one source")
+    topk.add_argument("graph")
+    topk.add_argument("--path", required=True)
+    topk.add_argument("--source", required=True)
+    topk.add_argument("-k", type=int, default=10)
+
+    profile = commands.add_parser(
+        "profile", help="top objects along several labelled paths"
+    )
+    profile.add_argument("graph")
+    profile.add_argument("--source", required=True)
+    profile.add_argument(
+        "--paths",
+        required=True,
+        nargs="+",
+        metavar="LABEL=PATH",
+        help="labelled path specs, e.g. conferences=APC coauthors=APA",
+    )
+    profile.add_argument("-k", type=int, default=5)
+
+    explain = commands.add_parser(
+        "explain", help="top contributing middle objects for one pair"
+    )
+    explain.add_argument("graph")
+    explain.add_argument("--path", required=True)
+    explain.add_argument("--source", required=True)
+    explain.add_argument("--target", required=True)
+    explain.add_argument("-k", type=int, default=5)
+
+    autoprofile = commands.add_parser(
+        "autoprofile",
+        help="profile an object against every reachable type",
+    )
+    autoprofile.add_argument("graph")
+    autoprofile.add_argument("--type", required=True, dest="object_type")
+    autoprofile.add_argument("--key", required=True, dest="object_key")
+    autoprofile.add_argument("-k", type=int, default=5)
+    autoprofile.add_argument(
+        "--max-path-length", type=int, default=4, dest="max_path_length"
+    )
+
+    paths = commands.add_parser(
+        "paths", help="enumerate relevance paths between two types"
+    )
+    paths.add_argument("graph")
+    paths.add_argument("--source", required=True, dest="source_type")
+    paths.add_argument("--target", required=True, dest="target_type")
+    paths.add_argument(
+        "--max-length", type=int, default=4, dest="max_length"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="degree/density statistics and path cost estimates"
+    )
+    stats.add_argument("graph")
+    stats.add_argument(
+        "--path", default=None,
+        help="optional path spec to estimate computation cost for",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="structural validation report"
+    )
+    validate.add_argument("graph")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code (0 ok, 2 usage error)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+
+    if args.command == "validate":
+        report = graph_report(graph)
+        print(report.summary())
+        return 1 if report.has_errors else 0
+
+    if args.command == "paths":
+        from .hin.enumerate import enumerate_paths
+
+        for path in enumerate_paths(
+            graph.schema, args.source_type, args.target_type,
+            max_length=args.max_length,
+        ):
+            names = " -> ".join(r.name for r in path.relations)
+            print(f"{path.code()}  ({names})")
+        return 0
+
+    if args.command == "stats":
+        from .hin.stats import network_stats, path_cost_estimate
+
+        for name, stats in network_stats(graph).items():
+            print(
+                f"{name}: {stats.num_edges} edges, density "
+                f"{stats.density:.4f}, out-degree mean/max "
+                f"{stats.mean_out_degree:.2f}/{stats.max_out_degree}, "
+                f"in-degree mean/max "
+                f"{stats.mean_in_degree:.2f}/{stats.max_in_degree}"
+            )
+        if args.path:
+            flops, cells = path_cost_estimate(graph, args.path)
+            print(
+                f"path {args.path}: ~{flops} flops, "
+                f"{cells} result cells"
+            )
+        return 0
+
+    engine = HeteSimEngine(graph)
+
+    if args.command == "query":
+        score = engine.relevance(
+            args.source, args.target, args.path, normalized=not args.raw
+        )
+        kind = "raw" if args.raw else "normalized"
+        print(
+            f"HeteSim({args.source}, {args.target} | {args.path}) "
+            f"[{kind}] = {score:.6f}"
+        )
+        return 0
+
+    if args.command == "topk":
+        for rank, (key, score) in enumerate(
+            engine.top_k(args.source, args.path, k=args.k), start=1
+        ):
+            print(f"{rank:3d}  {key}  {score:.6f}")
+        return 0
+
+    if args.command == "explain":
+        contributions = engine.explain(
+            args.source, args.target, args.path, k=args.k
+        )
+        if not contributions:
+            print("no connection: the pair's relevance is 0")
+            return 0
+        score = engine.relevance(args.source, args.target, args.path)
+        print(
+            f"HeteSim({args.source}, {args.target} | {args.path}) = "
+            f"{score:.6f}; top contributing middle objects:"
+        )
+        for contribution in contributions:
+            middle = contribution.middle
+            if isinstance(middle, tuple):
+                middle = " -> ".join(middle)
+            print(
+                f"  {middle}  share={contribution.share:.1%}  "
+                f"(fwd {contribution.forward_probability:.4f} x "
+                f"bwd {contribution.backward_probability:.4f})"
+            )
+        return 0
+
+    if args.command == "autoprofile":
+        from .core.profiles import build_profile
+
+        profile = build_profile(
+            engine,
+            args.object_type,
+            args.object_key,
+            k=args.k,
+            max_path_length=args.max_path_length,
+        )
+        print(profile.to_text())
+        return 0
+
+    if args.command == "profile":
+        labelled = {}
+        for item in args.paths:
+            label, _, spec = item.partition("=")
+            if not label or not spec:
+                print(
+                    f"error: bad --paths item {item!r} "
+                    "(expected LABEL=PATH)",
+                    file=sys.stderr,
+                )
+                return 2
+            labelled[label] = spec
+        for label, ranking in engine.profile(
+            args.source, labelled, k=args.k
+        ).items():
+            print(f"{label}:")
+            for rank, (key, score) in enumerate(ranking, start=1):
+                print(f"  {rank:2d}  {key}  {score:.6f}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

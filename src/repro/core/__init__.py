@@ -1,0 +1,69 @@
+"""HeteSim core: the paper's contribution (Section 4).
+
+Matrix-form HeteSim (:func:`hetesim_matrix` / :func:`hetesim_pair`), the
+reference naive implementations used for cross-validation, the path-matrix
+materialisation cache, ranked search, and the high-level
+:class:`HeteSimEngine`.
+"""
+
+from .approx import monte_carlo_hetesim
+from .cache import PathMatrixCache
+from .chain import optimal_chain_order, reach_prob_chain
+from .engine import HeteSimEngine
+from .explain import Contribution, explain_relevance
+from .lowrank import LowRankHeteSim
+from .hetesim import (
+    half_reach_matrices,
+    hetesim_all_sources,
+    hetesim_all_targets,
+    hetesim_matrix,
+    hetesim_pair,
+)
+from .multipath import MultiPathHeteSim
+from .naive import naive_hetesim, naive_hetesim_raw
+from .pathlearn import PathWeightResult, learn_path_weights
+from .profiles import ObjectProfile, ProfileSection, build_profile
+from .pruning import PrunedSearchResult, pruned_top_k
+from .reachprob import reach_distribution, reach_prob, reach_row
+from .search import rank_targets, top_k_pairs, top_k_pairs_sparse, top_k_targets
+from .store import MatrixStore
+from .variants import dice_hetesim_matrix, dice_hetesim_pair
+from .threshold import ThresholdSearchResult, threshold_top_k
+
+__all__ = [
+    "Contribution",
+    "HeteSimEngine",
+    "LowRankHeteSim",
+    "explain_relevance",
+    "MatrixStore",
+    "MultiPathHeteSim",
+    "ObjectProfile",
+    "ProfileSection",
+    "PathMatrixCache",
+    "PathWeightResult",
+    "PrunedSearchResult",
+    "ThresholdSearchResult",
+    "half_reach_matrices",
+    "hetesim_all_sources",
+    "hetesim_all_targets",
+    "hetesim_matrix",
+    "build_profile",
+    "dice_hetesim_matrix",
+    "dice_hetesim_pair",
+    "hetesim_pair",
+    "learn_path_weights",
+    "monte_carlo_hetesim",
+    "naive_hetesim",
+    "naive_hetesim_raw",
+    "optimal_chain_order",
+    "pruned_top_k",
+    "rank_targets",
+    "reach_distribution",
+    "reach_prob",
+    "reach_prob_chain",
+    "reach_row",
+    "threshold_top_k",
+    "top_k_pairs",
+    "top_k_pairs_sparse",
+    "top_k_targets",
+]

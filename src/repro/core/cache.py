@@ -1,0 +1,146 @@
+"""Materialisation cache for reachable probability matrices (Section 4.6).
+
+The paper's second speed-up: pre-compute and store the reachable
+probability matrices of *partial* paths, then answer longer-path queries
+by concatenating stored pieces (``PM_{P1 P2} = PM_{P1} PM_{P2}``).  E.g.
+with ``PM_CPA`` and ``PM_APA`` stored, the paths CPAPA, APAPC, CPAPC,
+APCPA and APAPA are all products of stored factors (plus transposes for
+reversed pieces).
+
+:class:`PathMatrixCache` keys matrices by the path's relation-name tuple,
+reuses the longest cached prefix when asked for a new path, and optionally
+caches every prefix it computes along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from scipy import sparse
+
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import transition_matrix
+from ..hin.metapath import MetaPath
+
+__all__ = ["PathMatrixCache"]
+
+PathKey = Tuple[str, ...]
+
+
+def _key(path: MetaPath) -> PathKey:
+    return tuple(relation.name for relation in path.relations)
+
+
+class PathMatrixCache:
+    """Cache of ``PM_P`` matrices with longest-prefix reuse.
+
+    Parameters
+    ----------
+    graph:
+        The network the matrices are computed over.  The cache assumes the
+        graph is not mutated afterwards; call :meth:`clear` if it is.
+    cache_prefixes:
+        When True (default) every prefix computed on the way to a request
+        is stored too, so subsequent queries sharing prefixes are cheap.
+
+    Examples
+    --------
+    >>> cache = PathMatrixCache(graph)               # doctest: +SKIP
+    >>> pm = cache.reach_prob(schema.path("APVC"))   # doctest: +SKIP
+    >>> cache.hits, cache.misses                     # doctest: +SKIP
+    (0, 4)
+    """
+
+    def __init__(
+        self, graph: HeteroGraph, cache_prefixes: bool = True
+    ) -> None:
+        self.graph = graph
+        self.cache_prefixes = cache_prefixes
+        self._matrices: Dict[PathKey, sparse.csr_matrix] = {}
+        self._signatures: Dict[PathKey, Tuple[int, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _fresh(self, key: PathKey) -> bool:
+        """Whether the cached entry for ``key`` reflects the current
+        graph (per-relation version signature match)."""
+        return self._signatures.get(key) == self.graph.relations_signature(
+            key
+        )
+
+    def reach_prob(self, path: MetaPath) -> sparse.csr_matrix:
+        """``PM_P`` for ``path``, reusing the longest *fresh* cached
+        prefix.  Entries stale under the per-relation mutation signature
+        are recomputed transparently (and only those: materialisations of
+        untouched relations survive graph mutations)."""
+        key = _key(path)
+        cached = self._matrices.get(key)
+        if cached is not None and self._fresh(key):
+            self.hits += 1
+            return cached
+        self.misses += 1
+
+        # Find the longest cached *fresh* proper prefix.
+        prefix_len = 0
+        product: Optional[sparse.csr_matrix] = None
+        for length in range(len(key) - 1, 0, -1):
+            prefix_key = key[:length]
+            prefix = self._matrices.get(prefix_key)
+            if prefix is not None and self._fresh(prefix_key):
+                prefix_len = length
+                product = prefix
+                break
+
+        for step_index in range(prefix_len, len(key)):
+            relation = path.relations[step_index]
+            step = transition_matrix(self.graph, relation.name, "U")
+            product = step if product is None else (product @ step).tocsr()
+            if self.cache_prefixes:
+                self._store(key[: step_index + 1], product)
+        assert product is not None
+        self._store(key, product)
+        return product
+
+    def _store(self, key: PathKey, matrix: sparse.csr_matrix) -> None:
+        self._matrices[key] = matrix
+        self._signatures[key] = self.graph.relations_signature(key)
+
+    def put(self, path: MetaPath, matrix: sparse.spmatrix) -> None:
+        """Manually store a matrix for a path (e.g. loaded from disk).
+
+        The entry is stamped with the graph's *current* relation
+        versions; it is the caller's responsibility that the matrix
+        matches the current graph.
+        """
+        self._store(_key(path), sparse.csr_matrix(matrix))
+
+    def contains(self, path: MetaPath) -> bool:
+        """True when a *fresh* ``PM_path`` is materialised."""
+        key = _key(path)
+        return key in self._matrices and self._fresh(key)
+
+    def clear(self) -> None:
+        """Drop all cached matrices (call after mutating the graph)."""
+        self._matrices.clear()
+        self._signatures.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def num_cached(self) -> int:
+        """Number of materialised path matrices."""
+        return len(self._matrices)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by the cached matrices (bytes).
+
+        Counts the CSR data, index and indptr arrays -- the §4.6
+        space-vs-time trade made inspectable.
+        """
+        total = 0
+        for matrix in self._matrices.values():
+            total += matrix.data.nbytes
+            total += matrix.indices.nbytes
+            total += matrix.indptr.nbytes
+        return total

@@ -1,0 +1,112 @@
+"""Optimal matrix-chain ordering for reachable-probability products.
+
+``PM_P = U_1 U_2 ... U_l`` is a matrix chain; the cost of computing it
+depends heavily on the association order when the type sizes differ
+(multiplying into a small type early shrinks every later product).  This
+module applies the classic matrix-chain-order dynamic program, using
+each factor's dimensions as the cost model, and evaluates the chain in
+that order -- a drop-in accelerated alternative to the left-to-right
+product of :func:`repro.hin.matrices.reachable_probability_matrix`.
+
+The result is *identical* (matrix multiplication is associative; only
+floating-point rounding differs, at the 1e-12 level the tests allow).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import transition_matrix
+from ..hin.metapath import MetaPath
+
+__all__ = ["optimal_chain_order", "reach_prob_chain"]
+
+
+def optimal_chain_order(dims: Sequence[int]) -> List[Tuple[int, int]]:
+    """The classic matrix-chain-order DP.
+
+    ``dims`` holds the chain's boundary dimensions: matrix ``i`` is
+    ``dims[i] x dims[i+1]``, so a chain of ``n`` matrices passes
+    ``n + 1`` entries.  Returns the multiplication schedule as a list of
+    ``(left_slot, right_slot)`` pairs over a working list of chain
+    slots: each step multiplies the matrices at the two (adjacent) slots
+    and stores the result at ``left_slot``, shrinking the list by one --
+    apply the steps in order to evaluate the chain optimally.
+    """
+    n = len(dims) - 1
+    if n < 1:
+        raise QueryError("chain needs at least one matrix")
+    if n == 1:
+        return []
+
+    # cost[i][j]: minimal scalar-multiplication count for matrices i..j.
+    cost = np.zeros((n, n))
+    split = np.zeros((n, n), dtype=int)
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            j = i + length - 1
+            best = np.inf
+            for k in range(i, j):
+                candidate = (
+                    cost[i][k]
+                    + cost[k + 1][j]
+                    + dims[i] * dims[k + 1] * dims[j + 1]
+                )
+                if candidate < best:
+                    best = candidate
+                    split[i][j] = k
+            cost[i][j] = best
+
+    # Flatten the parenthesisation into an execution schedule over a
+    # shrinking slot list.  We emit multiplications in post-order.
+    steps: List[Tuple[int, int]] = []
+
+    def emit(i: int, j: int) -> None:
+        if i == j:
+            return
+        k = int(split[i][j])
+        emit(i, k)
+        emit(k + 1, j)
+        steps.append((i, k + 1))
+
+    emit(0, n - 1)
+
+    # Translate original indices into dynamic slot positions: after each
+    # multiplication, indices above the removed slot shift down by one.
+    schedule: List[Tuple[int, int]] = []
+    alive = list(range(n))
+    for left, right in steps:
+        left_slot = alive.index(left)
+        right_slot = alive.index(right)
+        schedule.append((left_slot, right_slot))
+        alive.pop(right_slot)
+    return schedule
+
+
+def reach_prob_chain(
+    graph: HeteroGraph, path: MetaPath
+) -> sparse.csr_matrix:
+    """``PM_P`` evaluated in the optimal association order.
+
+    Numerically equal to
+    :func:`~repro.hin.matrices.reachable_probability_matrix`; faster on
+    long paths whose intermediate types differ greatly in size.
+    """
+    factors = [
+        transition_matrix(graph, relation.name, "U")
+        for relation in path.relations
+    ]
+    dims = [factors[0].shape[0]] + [m.shape[1] for m in factors]
+    schedule = optimal_chain_order(dims)
+    working = list(factors)
+    for left_slot, right_slot in schedule:
+        merged = (working[left_slot] @ working[right_slot]).tocsr()
+        working[left_slot] = merged
+        working.pop(right_slot)
+    assert len(working) == 1
+    return working[0]

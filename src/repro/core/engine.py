@@ -1,0 +1,329 @@
+"""High-level query engine: HeteSim with materialised half matrices.
+
+:class:`HeteSimEngine` is the recommended entry point for repeated queries
+over one network.  It keeps
+
+* a :class:`~repro.core.cache.PathMatrixCache` of reachable-probability
+  matrices (shared across paths with common prefixes), and
+* per-path *half* matrices ``(PM_PL, PM_{PR^-1})`` with their row norms,
+
+so that after the first query on a path, single-pair and single-source
+queries reduce to sparse-row dot products -- exactly the off-line /
+on-line split Section 4.6 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.decomposition import decompose_adjacency
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import row_normalize, safe_reciprocal
+from ..hin.metapath import MetaPath, PathSpec
+from .cache import PathMatrixCache
+
+__all__ = ["HeteSimEngine"]
+
+_HalfKey = Tuple[str, ...]
+
+
+class HeteSimEngine:
+    """Relevance-search engine over one heterogeneous network.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.hin.graph.HeteroGraph` to query.  Mutations
+        are detected through the graph's version counter: the next query
+        after any mutation transparently rebuilds the caches.
+
+    Examples
+    --------
+    >>> engine = HeteSimEngine(graph)                      # doctest: +SKIP
+    >>> engine.relevance("Tom", "KDD", "APC")              # doctest: +SKIP
+    0.5
+    >>> engine.top_k("Tom", "APVC", k=5)                   # doctest: +SKIP
+    [('KDD', 0.93), ...]
+    """
+
+    def __init__(self, graph: HeteroGraph) -> None:
+        self.graph = graph
+        self.cache = PathMatrixCache(graph)
+        self._halves: Dict[
+            _HalfKey,
+            Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray],
+        ] = {}
+        self._half_signatures: Dict[_HalfKey, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # path handling
+    # ------------------------------------------------------------------
+    def path(self, spec: PathSpec) -> MetaPath:
+        """Parse any accepted path specification against the schema."""
+        return self.graph.schema.path(spec)
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def halves(
+        self, path: MetaPath
+    ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """``(PM_PL, PM_PR^-1, left_row_norms, right_row_norms)``, cached.
+
+        Staleness is tracked per relation: mutating one relation only
+        invalidates the halves of paths that traverse it.
+        """
+        key = tuple(relation.name for relation in path.relations)
+        signature = self.graph.relations_signature(key)
+        cached = self._halves.get(key)
+        if cached is not None and self._half_signatures.get(key) == signature:
+            return cached
+
+        split = path.halves()
+        if not split.needs_edge_object:
+            left = self.cache.reach_prob(split.left)
+            if split.right.reverse() == split.left:
+                # Symmetric path: both walkers share one half matrix.
+                right = left
+            else:
+                right = self.cache.reach_prob(split.right.reverse())
+        else:
+            middle = split.middle_relation
+            w_ae, w_eb = decompose_adjacency(
+                self.graph.adjacency(middle.name)
+            )
+            into_forward = row_normalize(w_ae)
+            into_backward = row_normalize(w_eb.T)
+            if split.left is None:
+                left = into_forward
+            else:
+                left = (
+                    self.cache.reach_prob(split.left) @ into_forward
+                ).tocsr()
+            if split.right is None:
+                right = into_backward
+            else:
+                right = (
+                    self.cache.reach_prob(split.right.reverse())
+                    @ into_backward
+                ).tocsr()
+
+        left_norms = np.sqrt(
+            np.asarray(left.multiply(left).sum(axis=1))
+        ).ravel()
+        right_norms = np.sqrt(
+            np.asarray(right.multiply(right).sum(axis=1))
+        ).ravel()
+        result = (left, right, left_norms, right_norms)
+        self._halves[key] = result
+        self._half_signatures[key] = signature
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop every materialised matrix unconditionally.
+
+        Not needed for correctness -- staleness is detected per relation
+        through the graph's mutation counters -- but reclaims memory.
+        """
+        self.cache.clear()
+        self._halves.clear()
+        self._half_signatures.clear()
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    def relevance(
+        self,
+        source_key: str,
+        target_key: str,
+        path: PathSpec,
+        normalized: bool = True,
+    ) -> float:
+        """``HeteSim(source, target | path)``.
+
+        ``normalized=False`` gives the raw meeting probability (Eq. 6);
+        the default is the cosine-normalised score of Definition 10.
+        """
+        meta = self.path(path)
+        left, right, left_norms, right_norms = self.halves(meta)
+        i = self._resolve(meta.source_type.name, source_key)
+        j = self._resolve(meta.target_type.name, target_key)
+        dot = float((left.getrow(i) @ right.getrow(j).T).toarray()[0, 0])
+        if not normalized:
+            return dot
+        if left_norms[i] == 0 or right_norms[j] == 0:
+            return 0.0
+        return dot / (left_norms[i] * right_norms[j])
+
+    def relevance_matrix(
+        self, path: PathSpec, normalized: bool = True
+    ) -> np.ndarray:
+        """Dense relevance matrix of every (source, target) pair."""
+        meta = self.path(path)
+        left, right, left_norms, right_norms = self.halves(meta)
+        product = (left @ right.T).toarray()
+        if not normalized:
+            return product
+        scale_left = safe_reciprocal(left_norms)
+        scale_right = safe_reciprocal(right_norms)
+        return product * scale_left[:, None] * scale_right[None, :]
+
+    def relevance_pairs(
+        self,
+        pairs: List[Tuple[str, str]],
+        path: PathSpec,
+        normalized: bool = True,
+    ) -> List[float]:
+        """Scores for an explicit list of (source, target) pairs.
+
+        The batched form the supervised-learning and link-prediction
+        flows need: one halves materialisation, then one sparse dot per
+        pair.
+        """
+        if not pairs:
+            raise QueryError("pairs must be non-empty")
+        meta = self.path(path)
+        left, right, left_norms, right_norms = self.halves(meta)
+        scores: List[float] = []
+        for source_key, target_key in pairs:
+            i = self._resolve(meta.source_type.name, source_key)
+            j = self._resolve(meta.target_type.name, target_key)
+            dot = float(
+                (left.getrow(i) @ right.getrow(j).T).toarray()[0, 0]
+            )
+            if not normalized:
+                scores.append(dot)
+            elif left_norms[i] == 0 or right_norms[j] == 0:
+                scores.append(0.0)
+            else:
+                scores.append(dot / (left_norms[i] * right_norms[j]))
+        return scores
+
+    def relevance_submatrix(
+        self,
+        source_keys: List[str],
+        path: PathSpec,
+        normalized: bool = True,
+    ) -> np.ndarray:
+        """Relevance of a *subset* of sources to every target object.
+
+        Returns a ``(len(source_keys), n_targets)`` array whose rows
+        follow ``source_keys``.  Slices the materialised left half, so
+        the cost is proportional to the subset -- the batched middle
+        ground between :meth:`relevance_vector` and
+        :meth:`relevance_matrix`.
+        """
+        if not source_keys:
+            raise QueryError("source_keys must be non-empty")
+        meta = self.path(path)
+        left, right, left_norms, right_norms = self.halves(meta)
+        indices = [
+            self._resolve(meta.source_type.name, key) for key in source_keys
+        ]
+        rows = left[indices, :]
+        product = (rows @ right.T).toarray()
+        if not normalized:
+            return product
+        scale_left = safe_reciprocal(left_norms[indices])
+        scale_right = safe_reciprocal(right_norms)
+        return product * scale_left[:, None] * scale_right[None, :]
+
+    def relevance_vector(
+        self, source_key: str, path: PathSpec, normalized: bool = True
+    ) -> np.ndarray:
+        """Relevance of ``source_key`` to every target-type object."""
+        meta = self.path(path)
+        left, right, left_norms, right_norms = self.halves(meta)
+        i = self._resolve(meta.source_type.name, source_key)
+        scores = np.asarray(
+            (left.getrow(i) @ right.T).todense()
+        ).ravel()
+        if not normalized:
+            return scores
+        if left_norms[i] == 0:
+            return np.zeros_like(scores)
+        scale_right = safe_reciprocal(right_norms)
+        return scores * (scale_right / left_norms[i])
+
+    # ------------------------------------------------------------------
+    # ranked search
+    # ------------------------------------------------------------------
+    def rank(
+        self, source_key: str, path: PathSpec, normalized: bool = True
+    ) -> List[Tuple[str, float]]:
+        """All target objects ranked by relevance, best first.
+
+        Ties break by node key so results are deterministic.
+        """
+        meta = self.path(path)
+        scores = self.relevance_vector(
+            source_key, meta, normalized=normalized
+        )
+        keys = self.graph.node_keys(meta.target_type.name)
+        order = sorted(
+            range(len(keys)), key=lambda i: (-scores[i], keys[i])
+        )
+        return [(keys[i], float(scores[i])) for i in order]
+
+    def top_k(
+        self,
+        source_key: str,
+        path: PathSpec,
+        k: int = 10,
+        normalized: bool = True,
+    ) -> List[Tuple[str, float]]:
+        """The ``k`` most relevant target objects for ``source_key``."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        return self.rank(source_key, path, normalized=normalized)[:k]
+
+    def explain(
+        self,
+        source_key: str,
+        target_key: str,
+        path: PathSpec,
+        k: int = 5,
+    ):
+        """Top contributing middle objects for one pair's score.
+
+        Convenience wrapper around
+        :func:`repro.core.explain.explain_relevance`; returns a list of
+        :class:`~repro.core.explain.Contribution`.
+        """
+        from .explain import explain_relevance
+
+        return explain_relevance(
+            self.graph, self.path(path), source_key, target_key, k=k
+        )
+
+    def profile(
+        self,
+        source_key: str,
+        paths: Mapping[str, PathSpec],
+        k: int = 5,
+    ) -> Dict[str, List[Tuple[str, float]]]:
+        """Automatic object profiling (the paper's Task 1, Tables 1-2).
+
+        For each labelled path, return the top-``k`` related objects of
+        that path's target type.  ``paths`` maps a display label (e.g.
+        ``"conferences"``) to a path specification (e.g. ``"APVC"``).
+        """
+        return {
+            label: self.top_k(source_key, spec, k=k)
+            for label, spec in paths.items()
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(self, type_name: str, key: str) -> int:
+        try:
+            return self.graph.node_index(type_name, key)
+        except Exception as exc:
+            raise QueryError(
+                f"object {key!r} is not a {type_name!r} node: {exc}"
+            ) from exc

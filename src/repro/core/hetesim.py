@@ -1,0 +1,248 @@
+"""HeteSim -- the paper's relevance measure (Section 4).
+
+The computational form follows Equations (5)-(8):
+
+1. Decompose the relevance path ``P`` into equal halves ``P = PL PR``
+   (Definition 5).  Odd-length paths first split their middle atomic
+   relation through an edge object (Definition 6 /
+   :func:`repro.hin.decomposition.decompose_adjacency`).
+2. Build the two reachable-probability matrices ``PM_PL`` (source walks
+   forward) and ``PM_{PR^-1}`` (target walks backward) -- Definition 9.
+3. Raw HeteSim (Eq. 6) is the matrix product ``PM_PL @ PM_{PR^-1}'``:
+   entry ``(a, b)`` is the probability the two walkers meet at the same
+   middle object.
+4. Normalised HeteSim (Def. 10 / Eq. 8) is the cosine between the two
+   reachable-probability row vectors, restoring self-maximum
+   (``HeteSim(a, a | symmetric P) = 1``) and the [0, 1] range.
+
+Everything here is expressed with sparse matrix algebra; single-pair and
+single-source queries propagate one sparse row vector instead of the full
+matrix, which is the paper's "on-line query" fast path (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.decomposition import decompose_adjacency
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import (
+    reachable_probability_matrix,
+    row_normalize,
+    safe_reciprocal,
+    transition_matrix,
+)
+from ..hin.metapath import MetaPath
+
+__all__ = [
+    "half_reach_matrices",
+    "hetesim_matrix",
+    "hetesim_pair",
+    "hetesim_all_targets",
+    "hetesim_all_sources",
+]
+
+
+def half_reach_matrices(
+    graph: HeteroGraph, path: MetaPath
+) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    """``(PM_PL, PM_{PR^-1})`` for a path (Definitions 5, 6, 9).
+
+    ``PM_PL`` has one row per source-type object; ``PM_{PR^-1}`` one row
+    per target-type object.  Both have one column per *middle* object --
+    the middle node type for even-length paths, edge objects of the middle
+    relation for odd-length paths.
+    """
+    halves = path.halves()
+    if not halves.needs_edge_object:
+        left = reachable_probability_matrix(graph, halves.left)
+        right = reachable_probability_matrix(
+            graph, halves.right.reverse()
+        )
+        return left, right
+
+    middle = halves.middle_relation
+    w_ae, w_eb = decompose_adjacency(graph.adjacency(middle.name))
+    into_edges_forward = row_normalize(w_ae)          # U_{X E}
+    into_edges_backward = row_normalize(w_eb.T)       # U_{Y E}
+
+    if halves.left is None:
+        left = into_edges_forward
+    else:
+        left = (
+            reachable_probability_matrix(graph, halves.left)
+            @ into_edges_forward
+        ).tocsr()
+
+    if halves.right is None:
+        right = into_edges_backward
+    else:
+        right = (
+            reachable_probability_matrix(graph, halves.right.reverse())
+            @ into_edges_backward
+        ).tocsr()
+    return left, right
+
+
+def _cosine_normalize_product(
+    left: sparse.csr_matrix, right: sparse.csr_matrix
+) -> np.ndarray:
+    """Dense ``cos(left[a,:], right[b,:])`` matrix; zero rows give 0."""
+    product = (left @ right.T).toarray()
+    left_norms = np.sqrt(np.asarray(left.multiply(left).sum(axis=1))).ravel()
+    right_norms = np.sqrt(
+        np.asarray(right.multiply(right).sum(axis=1))
+    ).ravel()
+    scale_left = safe_reciprocal(left_norms)
+    scale_right = safe_reciprocal(right_norms)
+    return product * scale_left[:, None] * scale_right[None, :]
+
+
+def hetesim_matrix(
+    graph: HeteroGraph,
+    path: MetaPath,
+    normalized: bool = True,
+) -> np.ndarray:
+    """The full relevance matrix ``HeteSim(A1, Al+1 | P)``.
+
+    Entry ``(i, j)`` is the relevance of source-type object ``i`` to
+    target-type object ``j``.  ``normalized=False`` returns the raw meeting
+    probability of Eq. (6) (used by the ablation benches and the SimRank
+    connection, Property 5); the default applies Def. 10's cosine
+    normalisation.
+    """
+    left, right = half_reach_matrices(graph, path)
+    if normalized:
+        return _cosine_normalize_product(left, right)
+    return (left @ right.T).toarray()
+
+
+def _single_row(matrix: sparse.csr_matrix, index: int) -> sparse.csr_matrix:
+    return matrix.getrow(index)
+
+
+def _propagate_row(
+    graph: HeteroGraph, path: Optional[MetaPath], start_row: sparse.csr_matrix
+) -> sparse.csr_matrix:
+    """Push one sparse row vector through a (possibly empty) path."""
+    row = start_row
+    if path is not None:
+        for relation in path.relations:
+            row = row @ transition_matrix(graph, relation.name, "U")
+    return sparse.csr_matrix(row)
+
+
+def _half_reach_rows(
+    graph: HeteroGraph,
+    path: MetaPath,
+    source_index: int,
+    target_index: int,
+) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    """Single-pair analogue of :func:`half_reach_matrices`.
+
+    Propagates one-hot rows for ``source_index`` (forward along ``PL``)
+    and ``target_index`` (backward along ``PR``) instead of multiplying
+    full matrices -- the on-line query fast path of Section 4.6.
+    """
+    halves = path.halves()
+    n_src = graph.num_nodes(path.source_type.name)
+    n_tgt = graph.num_nodes(path.target_type.name)
+    src_row = sparse.csr_matrix(
+        ([1.0], ([0], [source_index])), shape=(1, n_src)
+    )
+    tgt_row = sparse.csr_matrix(
+        ([1.0], ([0], [target_index])), shape=(1, n_tgt)
+    )
+
+    if not halves.needs_edge_object:
+        left = _propagate_row(graph, halves.left, src_row)
+        right = _propagate_row(graph, halves.right.reverse(), tgt_row)
+        return left, right
+
+    middle = halves.middle_relation
+    w_ae, w_eb = decompose_adjacency(graph.adjacency(middle.name))
+    left = _propagate_row(graph, halves.left, src_row) @ row_normalize(w_ae)
+    right = _propagate_row(graph, halves.right.reverse() if halves.right else None, tgt_row)
+    right = right @ row_normalize(w_eb.T)
+    return sparse.csr_matrix(left), sparse.csr_matrix(right)
+
+
+def hetesim_pair(
+    graph: HeteroGraph,
+    path: MetaPath,
+    source_key: str,
+    target_key: str,
+    normalized: bool = True,
+) -> float:
+    """``HeteSim(source, target | P)`` for one pair of objects.
+
+    ``source_key`` must name an object of the path's source type and
+    ``target_key`` one of its target type; :class:`QueryError` otherwise.
+    """
+    source_index = _resolve(graph, path.source_type.name, source_key)
+    target_index = _resolve(graph, path.target_type.name, target_key)
+    left, right = _half_reach_rows(graph, path, source_index, target_index)
+    dot = float((left @ right.T).toarray()[0, 0])
+    if not normalized:
+        return dot
+    left_norm = sparse.linalg.norm(left)
+    right_norm = sparse.linalg.norm(right)
+    if left_norm == 0 or right_norm == 0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+def hetesim_all_targets(
+    graph: HeteroGraph,
+    path: MetaPath,
+    source_key: str,
+    normalized: bool = True,
+) -> np.ndarray:
+    """Relevance of one source object to *every* target-type object.
+
+    Returns a dense vector indexed like the target type's node indices.
+    Computes ``PM_{PR^-1}`` once but only a single forward row, so it is
+    much cheaper than :func:`hetesim_matrix` when one query row is needed.
+    """
+    source_index = _resolve(graph, path.source_type.name, source_key)
+    left_full, right = half_reach_matrices(graph, path)
+    left = _single_row(left_full, source_index)
+    scores = np.asarray((left @ right.T).todense()).ravel()
+    if not normalized:
+        return scores
+    left_norm = sparse.linalg.norm(left)
+    if left_norm == 0:
+        return np.zeros_like(scores)
+    right_norms = np.sqrt(
+        np.asarray(right.multiply(right).sum(axis=1))
+    ).ravel()
+    return scores * (safe_reciprocal(right_norms) / left_norm)
+
+
+def hetesim_all_sources(
+    graph: HeteroGraph,
+    path: MetaPath,
+    target_key: str,
+    normalized: bool = True,
+) -> np.ndarray:
+    """Relevance of every source-type object to one target object.
+
+    Symmetric twin of :func:`hetesim_all_targets`; by Property 3 it equals
+    ``hetesim_all_targets(graph, path.reverse(), target_key)``.
+    """
+    return hetesim_all_targets(
+        graph, path.reverse(), target_key, normalized=normalized
+    )
+
+
+def _resolve(graph: HeteroGraph, type_name: str, key: str) -> int:
+    try:
+        return graph.node_index(type_name, key)
+    except Exception as exc:
+        raise QueryError(
+            f"object {key!r} is not a {type_name!r} node: {exc}"
+        ) from exc

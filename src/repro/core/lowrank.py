@@ -1,0 +1,145 @@
+"""Low-rank approximate HeteSim (a second §4.6 "approximate algorithm").
+
+The half matrices ``PM_PL`` and ``PM_{PR^-1}`` of a long path over a
+community-structured network are close to low rank (walk distributions
+concentrate on a few "topics").  Factoring each half once with a
+truncated SVD turns every subsequent all-pairs or single-pair query into
+rank-``r`` algebra: score lookups cost O(r) instead of touching the full
+middle dimension.
+
+The approximation error is governed by the discarded singular values;
+:class:`LowRankHeteSim` reports the captured spectral energy so callers
+can pick the rank empirically (the tests verify error decreases
+monotonically-ish and vanishes at full rank).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import safe_reciprocal
+from ..hin.metapath import MetaPath
+from .hetesim import half_reach_matrices
+
+__all__ = ["LowRankHeteSim"]
+
+
+class LowRankHeteSim:
+    """Rank-``r`` approximation of HeteSim under one path.
+
+    Parameters
+    ----------
+    graph, path:
+        The network and relevance path.
+    rank:
+        Number of singular components requested per half.  Each half is
+        factored at ``min(rank, min(half.shape) - 1)`` components (the
+        ``svds`` ceiling), so a generous rank degrades gracefully on
+        skinny matrices; the effective ranks are exposed as
+        ``rank_left`` / ``rank_right``.  Use exact HeteSim when the
+        matrices are tiny (ceiling < 1).
+
+    Examples
+    --------
+    >>> approx = LowRankHeteSim(graph, path, rank=16)   # doctest: +SKIP
+    >>> approx.relevance("Tom", "KDD")                  # doctest: +SKIP
+    """
+
+    def __init__(
+        self, graph: HeteroGraph, path: MetaPath, rank: int
+    ) -> None:
+        if rank < 1:
+            raise QueryError(f"rank must be >= 1, got {rank}")
+        left, right = half_reach_matrices(graph, path)
+        rank_left = min(rank, min(left.shape) - 1)
+        rank_right = min(rank, min(right.shape) - 1)
+        if rank_left < 1 or rank_right < 1:
+            raise QueryError(
+                "half matrices too small for a truncated SVD "
+                f"(shapes {left.shape} and {right.shape}); "
+                "use the exact measure"
+            )
+        self.graph = graph
+        self.path = path
+        self.rank = rank
+        self.rank_left = rank_left
+        self.rank_right = rank_right
+
+        u_left, s_left, vt_left = svds(left, k=rank_left)
+        u_right, s_right, vt_right = svds(right, k=rank_right)
+        # left  ~= (u_left * s_left) @ vt_left
+        # right ~= (u_right * s_right) @ vt_right
+        # left @ right' ~= A @ C @ B'  with C = vt_left @ vt_right'.
+        self._a = u_left * s_left
+        self._b = u_right * s_right
+        self._cross = vt_left @ vt_right.T
+
+        # Exact row norms (cheap) so normalisation does not degrade.
+        self._left_norms = np.sqrt(
+            np.asarray(left.multiply(left).sum(axis=1))
+        ).ravel()
+        self._right_norms = np.sqrt(
+            np.asarray(right.multiply(right).sum(axis=1))
+        ).ravel()
+
+        total_energy = float(left.multiply(left).sum())
+        kept_energy = float(np.sum(s_left ** 2))
+        self.captured_energy = (
+            kept_energy / total_energy if total_energy > 0 else 1.0
+        )
+
+    # ------------------------------------------------------------------
+    def relevance_matrix(self, normalized: bool = True) -> np.ndarray:
+        """Approximate all-pairs relevance matrix."""
+        product = self._a @ self._cross @ self._b.T
+        if not normalized:
+            return product
+        scale_left = safe_reciprocal(self._left_norms)
+        scale_right = safe_reciprocal(self._right_norms)
+        return product * scale_left[:, None] * scale_right[None, :]
+
+    def relevance(
+        self, source_key: str, target_key: str, normalized: bool = True
+    ) -> float:
+        """Approximate relevance of one pair in O(rank^2) time."""
+        i = self._resolve(self.path.source_type.name, source_key)
+        j = self._resolve(self.path.target_type.name, target_key)
+        value = float(self._a[i] @ self._cross @ self._b[j])
+        if not normalized:
+            return value
+        if self._left_norms[i] == 0 or self._right_norms[j] == 0:
+            return 0.0
+        return value / (self._left_norms[i] * self._right_norms[j])
+
+    def top_k(
+        self, source_key: str, k: int = 10, normalized: bool = True
+    ) -> List[Tuple[str, float]]:
+        """Approximate top-k targets for one source."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        i = self._resolve(self.path.source_type.name, source_key)
+        scores = (self._a[i] @ self._cross) @ self._b.T
+        if normalized:
+            if self._left_norms[i] == 0:
+                scores = np.zeros_like(scores)
+            else:
+                scores = scores * (
+                    safe_reciprocal(self._right_norms)
+                    / self._left_norms[i]
+                )
+        keys = self.graph.node_keys(self.path.target_type.name)
+        order = sorted(
+            range(len(keys)), key=lambda n: (-scores[n], keys[n])
+        )
+        return [(keys[n], float(scores[n])) for n in order[:k]]
+
+    def _resolve(self, type_name: str, key: str) -> int:
+        if not self.graph.has_node(type_name, key):
+            raise QueryError(f"{key!r} is not a {type_name!r} node")
+        return self.graph.node_index(type_name, key)

@@ -1,0 +1,135 @@
+"""Weighted multi-path HeteSim.
+
+Section 5.1 discusses how to choose the relevance path; its third option
+is to "train the relevance paths and their weights by some learning
+algorithms".  The trained object is a *weighted combination* of HeteSim
+over several paths sharing the same endpoint types:
+
+    MultiHeteSim(s, t) = sum_i  w_i * HeteSim(s, t | P_i)
+
+:class:`MultiPathHeteSim` implements that combination on top of a
+:class:`~repro.core.engine.HeteSimEngine`; the weights can be set by hand
+(domain knowledge) or fitted from labelled pairs via
+:mod:`repro.core.pathlearn`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..hin.errors import PathError, QueryError
+from ..hin.metapath import MetaPath, PathSpec
+from .engine import HeteSimEngine
+
+__all__ = ["MultiPathHeteSim"]
+
+
+class MultiPathHeteSim:
+    """A weighted combination of HeteSim over several relevance paths.
+
+    Parameters
+    ----------
+    engine:
+        The engine supplying per-path scores (half matrices are shared
+        and cached across queries).
+    weights:
+        Mapping of path spec -> non-negative weight.  All paths must
+        share source and target types; weights are normalised to sum
+        to 1 so combined scores stay in [0, 1].
+
+    Examples
+    --------
+    >>> multi = MultiPathHeteSim(engine, {"APVC": 0.7, "APT PT^-1 ...": 0.3})
+    ...                                           # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        engine: HeteSimEngine,
+        weights: Mapping[PathSpec, float],
+    ) -> None:
+        if not weights:
+            raise QueryError("at least one weighted path is required")
+        self.engine = engine
+        parsed: List[Tuple[MetaPath, float]] = []
+        for spec, weight in weights.items():
+            if weight < 0:
+                raise QueryError(
+                    f"path weights must be non-negative, got {weight} "
+                    f"for {spec!r}"
+                )
+            parsed.append((engine.path(spec), float(weight)))
+
+        total = sum(weight for _, weight in parsed)
+        if total == 0:
+            raise QueryError("path weights must not all be zero")
+        first = parsed[0][0]
+        for path, _ in parsed[1:]:
+            if (
+                path.source_type != first.source_type
+                or path.target_type != first.target_type
+            ):
+                raise PathError(
+                    f"paths {first.code()} and {path.code()} do not share "
+                    "endpoint types; they cannot be combined"
+                )
+        self._paths: List[Tuple[MetaPath, float]] = [
+            (path, weight / total) for path, weight in parsed
+        ]
+
+    @property
+    def paths(self) -> List[MetaPath]:
+        """The combined paths, in insertion order."""
+        return [path for path, _ in self._paths]
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Normalised weight per path code."""
+        return {path.code(): weight for path, weight in self._paths}
+
+    @property
+    def source_type(self) -> str:
+        """Shared source type name."""
+        return self._paths[0][0].source_type.name
+
+    @property
+    def target_type(self) -> str:
+        """Shared target type name."""
+        return self._paths[0][0].target_type.name
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    def relevance(self, source_key: str, target_key: str) -> float:
+        """Weighted combined relevance of one pair."""
+        return sum(
+            weight * self.engine.relevance(source_key, target_key, path)
+            for path, weight in self._paths
+        )
+
+    def relevance_matrix(self) -> np.ndarray:
+        """Weighted combination of the per-path relevance matrices."""
+        combined: np.ndarray = sum(
+            weight * self.engine.relevance_matrix(path)
+            for path, weight in self._paths
+        )
+        return combined
+
+    def relevance_vector(self, source_key: str) -> np.ndarray:
+        """Combined relevance of one source to every target object."""
+        combined: np.ndarray = sum(
+            weight * self.engine.relevance_vector(source_key, path)
+            for path, weight in self._paths
+        )
+        return combined
+
+    def top_k(self, source_key: str, k: int = 10) -> List[Tuple[str, float]]:
+        """The ``k`` most relevant targets under the combined measure."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        scores = self.relevance_vector(source_key)
+        keys = self.engine.graph.node_keys(self.target_type)
+        order = sorted(range(len(keys)), key=lambda i: (-scores[i], keys[i]))
+        return [(keys[i], float(scores[i])) for i in order[:k]]

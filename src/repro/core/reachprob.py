@@ -1,0 +1,67 @@
+"""Reachable-probability utilities (Definition 9 conveniences).
+
+Thin helpers over :mod:`repro.hin.matrices` and
+:mod:`repro.core.cache` for working with single rows of ``PM_P`` -- the
+distribution a specific object induces over a path's endpoint type.  The
+Fig. 7 experiment (authors' publication distribution over conferences
+along APVC) is exactly :func:`reach_distribution`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import reachable_probability_matrix, transition_matrix
+from ..hin.metapath import MetaPath
+from .cache import PathMatrixCache
+
+__all__ = ["reach_prob", "reach_row", "reach_distribution"]
+
+
+def reach_prob(
+    graph: HeteroGraph,
+    path: MetaPath,
+    cache: Optional[PathMatrixCache] = None,
+) -> sparse.csr_matrix:
+    """``PM_P``, optionally through a :class:`PathMatrixCache`."""
+    if cache is not None:
+        return cache.reach_prob(path)
+    return reachable_probability_matrix(graph, path)
+
+
+def reach_row(
+    graph: HeteroGraph, path: MetaPath, source_key: str
+) -> np.ndarray:
+    """One row of ``PM_P``: the reach distribution of a single object.
+
+    Propagates a one-hot sparse row, so cost is proportional to the
+    touched neighbourhood rather than to the full matrix product.
+    """
+    type_name = path.source_type.name
+    if not graph.has_node(type_name, source_key):
+        raise QueryError(f"{source_key!r} is not a {type_name!r} node")
+    index = graph.node_index(type_name, source_key)
+    row = sparse.csr_matrix(
+        ([1.0], ([0], [index])), shape=(1, graph.num_nodes(type_name))
+    )
+    for relation in path.relations:
+        row = row @ transition_matrix(graph, relation.name, "U")
+    return np.asarray(row.todense()).ravel()
+
+
+def reach_distribution(
+    graph: HeteroGraph, path: MetaPath, source_key: str
+) -> List[Tuple[str, float]]:
+    """Reach distribution as ``(target_key, probability)`` pairs.
+
+    Ordered by target node index; probabilities sum to at most 1 (less
+    when the walk can dead-end on objects without out-neighbours).
+    """
+    probabilities = reach_row(graph, path, source_key)
+    keys = graph.node_keys(path.target_type.name)
+    return list(zip(keys, (float(p) for p in probabilities)))

@@ -1,0 +1,131 @@
+"""On-disk materialisation of reachable probability matrices (§4.6, item 1).
+
+"For frequently-used relevance paths, the relatedness matrix can be
+calculated off-line.  The on-line search will be very fast."
+
+:class:`MatrixStore` persists the sparse ``PM_P`` matrices of chosen
+paths to a directory (scipy ``.npz`` per path) and reloads them into a
+:class:`~repro.core.cache.PathMatrixCache`, so a fresh process answers
+long-path queries without recomputing the chains.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from scipy import sparse
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.metapath import MetaPath
+from .cache import PathMatrixCache
+
+__all__ = ["MatrixStore"]
+
+_INDEX_NAME = "index.json"
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe name for a relation-name tuple."""
+    return re.sub(r"[^A-Za-z0-9_-]+", "_", text)
+
+
+class MatrixStore:
+    """A directory of persisted ``PM_P`` matrices.
+
+    The store keeps an ``index.json`` mapping each stored path's
+    relation-name tuple to its ``.npz`` file, so lookups never guess at
+    filenames.
+
+    Examples
+    --------
+    >>> store = MatrixStore(tmp_path)                     # doctest: +SKIP
+    >>> store.save(graph, [schema.path("APVC")])          # doctest: +SKIP
+    >>> cache = PathMatrixCache(graph)                    # doctest: +SKIP
+    >>> store.load_into(cache)                            # doctest: +SKIP
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # index handling
+    # ------------------------------------------------------------------
+    def _index_path(self) -> Path:
+        return self.directory / _INDEX_NAME
+
+    def _read_index(self) -> Dict[str, str]:
+        index_path = self._index_path()
+        if not index_path.exists():
+            return {}
+        with index_path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _write_index(self, index: Dict[str, str]) -> None:
+        with self._index_path().open("w", encoding="utf-8") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+
+    @staticmethod
+    def _key(path: MetaPath) -> str:
+        return "|".join(relation.name for relation in path.relations)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        graph: HeteroGraph,
+        paths: List[MetaPath],
+        cache: Union[PathMatrixCache, None] = None,
+    ) -> None:
+        """Compute (or fetch from ``cache``) and persist ``PM_P`` for each
+        path.  Existing entries for the same paths are overwritten."""
+        if cache is None:
+            cache = PathMatrixCache(graph)
+        index = self._read_index()
+        for path in paths:
+            matrix = cache.reach_prob(path)
+            key = self._key(path)
+            filename = _slug(key) + ".npz"
+            sparse.save_npz(self.directory / filename, matrix)
+            index[key] = filename
+        self._write_index(index)
+
+    def stored_paths(self) -> List[str]:
+        """Relation-name keys of every stored matrix (sorted)."""
+        return sorted(self._read_index())
+
+    def contains(self, path: MetaPath) -> bool:
+        """True when ``PM_path`` is on disk."""
+        return self._key(path) in self._read_index()
+
+    def load(self, path: MetaPath) -> sparse.csr_matrix:
+        """Load one stored matrix (raises :class:`QueryError` if absent)."""
+        index = self._read_index()
+        key = self._key(path)
+        if key not in index:
+            raise QueryError(
+                f"no stored matrix for path {path.code()} "
+                f"(stored: {sorted(index)})"
+            )
+        return sparse.load_npz(self.directory / index[key]).tocsr()
+
+    def load_into(self, cache: PathMatrixCache) -> int:
+        """Load every stored matrix into ``cache``; returns the count.
+
+        The cache's graph schema must be able to resolve the stored
+        relation names (i.e. same or compatible schema).
+        """
+        index = self._read_index()
+        schema = cache.graph.schema
+        loaded = 0
+        for key, filename in index.items():
+            relations = [schema.relation(name) for name in key.split("|")]
+            path = MetaPath(schema, relations)
+            cache.put(path, sparse.load_npz(self.directory / filename))
+            loaded += 1
+        return loaded

@@ -1,0 +1,166 @@
+"""Early-terminating top-k search (threshold-algorithm style).
+
+The second pruning idea of Section 4.6: when only the top-k targets are
+wanted, most candidates never need an *exact* score.  Raw HeteSim is
+
+    score(t) = sum_m forward[m] * backward[t, m]
+
+a monotone aggregation over middle objects, so Fagin-style threshold
+processing applies:
+
+1. visit middle objects in decreasing order of the query's forward
+   probability ``forward[m]``;
+2. for each visited middle, add its exact contribution to every target
+   touching it (one sparse column);
+3. maintain the optimistic bound for *unvisited* mass:
+   ``bound = sum_{unvisited m} forward[m] * colmax[m]`` where
+   ``colmax[m]`` is the largest backward probability any target has on
+   ``m``;
+4. stop as soon as the k-th best accumulated score can no longer be
+   beaten: ``kth_best >= best_partial_upper`` where every target's upper
+   bound is its partial score plus ``bound``.
+
+The result is *exact* (same scores as the full computation); only the
+amount of work adapts to the query.  Scores are raw by default; the
+normalised variant divides the finished top-k by the norms, which
+preserves no ranking guarantees across differently-normalised targets,
+so normalisation is applied before the ranking by scaling each column's
+contributions (see ``normalized=True`` notes in :func:`threshold_top_k`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.matrices import safe_reciprocal
+from ..hin.metapath import MetaPath
+from .hetesim import half_reach_matrices
+
+__all__ = ["ThresholdSearchResult", "threshold_top_k"]
+
+
+@dataclass
+class ThresholdSearchResult:
+    """Outcome of one threshold-algorithm search.
+
+    Attributes
+    ----------
+    ranking:
+        The exact top-k ``(target_key, score)`` pairs, best first.
+    middles_visited / middles_total:
+        How many middle objects were processed before termination.
+    """
+
+    ranking: List[Tuple[str, float]]
+    middles_visited: int
+    middles_total: int
+
+    @property
+    def visit_ratio(self) -> float:
+        """Fraction of the query's middle support actually processed."""
+        if self.middles_total == 0:
+            return 0.0
+        return self.middles_visited / self.middles_total
+
+
+def threshold_top_k(
+    graph: HeteroGraph,
+    path: MetaPath,
+    source_key: str,
+    k: int = 10,
+    normalized: bool = True,
+) -> ThresholdSearchResult:
+    """Exact top-k targets with threshold-algorithm early termination.
+
+    With ``normalized=True`` the aggregation runs over the *normalised*
+    column space (each target's backward row pre-divided by its norm, the
+    query's forward row by its norm), so the monotone-aggregation
+    argument -- and therefore exactness -- carries over to the cosine
+    scores of Definition 10.
+
+    Ties at the cut-off break by node key, matching
+    :meth:`HeteSimEngine.rank`.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    source_type = path.source_type.name
+    if not graph.has_node(source_type, source_key):
+        raise QueryError(f"{source_key!r} is not a {source_type!r} node")
+
+    left, right = half_reach_matrices(graph, path)
+    source_index = graph.node_index(source_type, source_key)
+    forward = left.getrow(source_index).toarray().ravel()
+
+    if normalized:
+        forward_norm = float(np.linalg.norm(forward))
+        if forward_norm > 0:
+            forward = forward / forward_norm
+        right_norms = np.sqrt(
+            np.asarray(right.multiply(right).sum(axis=1))
+        ).ravel()
+        scaling = sparse.diags(safe_reciprocal(right_norms))
+        right = (scaling @ right).tocsr()
+
+    keys = graph.node_keys(path.target_type.name)
+    support = np.nonzero(forward)[0]
+    if support.size == 0:
+        ranking = [(key, 0.0) for key in sorted(keys)[:k]]
+        return ThresholdSearchResult(ranking, 0, 0)
+
+    # Columns of `right` (i.e. rows of right^T) indexed by middle object.
+    columns = right.T.tocsr()
+    order = support[np.argsort(-forward[support])]
+    col_max = np.zeros(len(order))
+    for position, middle in enumerate(order):
+        column = columns.getrow(int(middle))
+        col_max[position] = column.data.max() if column.nnz else 0.0
+    # Suffix sums of the optimistic unvisited contribution.
+    unvisited_bound = np.concatenate(
+        (np.cumsum((forward[order] * col_max)[::-1])[::-1], [0.0])
+    )
+
+    partial = np.zeros(len(keys))
+    visited = 0
+    terminated_early = False
+    for position, middle in enumerate(order):
+        column = columns.getrow(int(middle))
+        partial[column.indices] += forward[middle] * column.data
+        visited = position + 1
+        bound = unvisited_bound[position + 1]
+        if bound <= 0:
+            break
+        # Every target's final score exceeds its partial by at most
+        # `bound`.  When the current k-th best *strictly* beats the
+        # (k + 1)-th best plus that ceiling, top-k membership is fixed;
+        # strictness keeps tie handling identical to the exact search
+        # (ties simply drain the loop, which is still exact).
+        if len(keys) > k:
+            kth_best = np.partition(partial, -k)[-k]
+            runner_up = np.partition(partial, -(k + 1))[-(k + 1)]
+            if kth_best > runner_up + bound:
+                terminated_early = True
+                break
+
+    if terminated_early:
+        # Membership fixed: compute exact scores for the winners only.
+        winner_order = np.argsort(-partial)[:k]
+        exact = np.asarray(
+            (right[winner_order, :] @ sparse.csr_matrix(forward).T).todense()
+        ).ravel()
+        pairs = sorted(
+            zip((keys[int(i)] for i in winner_order), exact),
+            key=lambda item: (-item[1], item[0]),
+        )
+        ranking = [(key, float(score)) for key, score in pairs]
+    else:
+        ordering = sorted(
+            range(len(keys)), key=lambda i: (-partial[i], keys[i])
+        )
+        ranking = [(keys[i], float(partial[i])) for i in ordering[:k]]
+    return ThresholdSearchResult(ranking, visited, len(order))

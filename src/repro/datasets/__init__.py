@@ -1,0 +1,40 @@
+"""Datasets: paper toy graphs and synthetic ACM/DBLP substitutes.
+
+The real ACM and DBLP crawls are not redistributable; the generators here
+plant the structure the experiments measure (see DESIGN.md,
+"Substitutions", and the module docstrings of :mod:`repro.datasets.acm`
+and :mod:`repro.datasets.dblp`).
+"""
+
+from .acm import AREAS, CONFERENCES, PERSONAS, AcmNetwork, make_acm_network
+from .dblp import FOUR_AREAS, DblpNetwork, make_dblp_four_area
+from .loaders import load_dblp_four_area, save_dblp_four_area
+from .movies import GENRES, MovieNetwork, make_movie_network, movie_schema
+from .random_hin import make_random_bipartite, make_random_hin
+from .schemas import acm_schema, bipartite_schema, dblp_schema, toy_apc_schema
+from .toy import fig4_network, fig5_network
+
+__all__ = [
+    "AREAS",
+    "CONFERENCES",
+    "FOUR_AREAS",
+    "GENRES",
+    "MovieNetwork",
+    "PERSONAS",
+    "AcmNetwork",
+    "DblpNetwork",
+    "acm_schema",
+    "bipartite_schema",
+    "dblp_schema",
+    "fig4_network",
+    "fig5_network",
+    "load_dblp_four_area",
+    "make_acm_network",
+    "make_dblp_four_area",
+    "make_movie_network",
+    "make_random_bipartite",
+    "make_random_hin",
+    "movie_schema",
+    "save_dblp_four_area",
+    "toy_apc_schema",
+]

@@ -1,0 +1,155 @@
+"""Synthetic DBLP-like four-area network (substitute for the DBLP subset).
+
+The paper's DBLP dataset is the classic "four-area" subset (database, data
+mining, information retrieval, artificial intelligence) with 20 labelled
+conferences, 4057 labelled authors and 100 labelled papers.  This module
+generates a seeded synthetic network over the same schema (Fig. 3b) with:
+
+* 4 research areas x 5 conferences, labelled;
+* per-area author communities (labelled) publishing ~80% inside their own
+  area, with area-specific term vocabularies plus shared stop-ish terms;
+* a labelled paper subset (papers inherit their conference's area).
+
+This is exactly the ground truth the Table 5 query-AUC task and the
+Table 6 clustering task require; the absolute sizes are scaled down but
+the label structure (what the experiments measure) is preserved.  See
+DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..hin.graph import HeteroGraph
+from .schemas import dblp_schema
+
+__all__ = ["DblpNetwork", "make_dblp_four_area", "FOUR_AREAS"]
+
+#: Area name -> its five conferences (matching DBLP's four-area subset).
+FOUR_AREAS: Dict[str, Tuple[str, ...]] = {
+    "database": ("SIGMOD", "VLDB", "ICDE", "PODS", "EDBT"),
+    "data mining": ("KDD", "ICDM", "SDM", "PKDD", "PAKDD"),
+    "information retrieval": ("SIGIR", "ECIR", "CIKM", "WSDM", "TREC"),
+    "artificial intelligence": ("AAAI", "IJCAI", "ICML", "ECML", "ACL"),
+}
+
+AREA_NAMES: Tuple[str, ...] = tuple(FOUR_AREAS)
+
+
+@dataclass
+class DblpNetwork:
+    """A generated DBLP-like network plus its area labels.
+
+    Attributes
+    ----------
+    graph:
+        The :class:`~repro.hin.graph.HeteroGraph` (schema of Fig. 3b).
+    conference_labels, author_labels, paper_labels:
+        Node key -> area index in ``[0, 4)`` (index into ``area_names``).
+        All conferences and authors are labelled; papers only for the
+        labelled subset (as in the original dataset).
+    area_names:
+        Area index -> human-readable area name.
+    """
+
+    graph: HeteroGraph
+    conference_labels: Dict[str, int]
+    author_labels: Dict[str, int]
+    paper_labels: Dict[str, int]
+    area_names: Tuple[str, ...]
+
+    @property
+    def conferences(self) -> List[str]:
+        """All conference keys in canonical (area-major) order."""
+        return [c for confs in FOUR_AREAS.values() for c in confs]
+
+
+def make_dblp_four_area(
+    seed: int = 0,
+    authors_per_area: int = 60,
+    papers_per_conference: int = 60,
+    labeled_papers_per_area: int = 25,
+    within_area_prob: float = 0.65,
+) -> DblpNetwork:
+    """Generate the synthetic four-area DBLP-like network.
+
+    Parameters
+    ----------
+    seed:
+        Generator seed; the output is deterministic per seed.
+    authors_per_area:
+        Size of each area's author community.
+    papers_per_conference:
+        Background papers per conference.
+    labeled_papers_per_area:
+        How many papers per area receive a label (the original dataset
+        labels only 100 of 14K papers).
+    within_area_prob:
+        Probability that a paper's authors come from the paper's own
+        area -- the signal strength for the AUC and clustering tasks.
+    """
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph(dblp_schema())
+
+    conference_labels: Dict[str, int] = {}
+    author_labels: Dict[str, int] = {}
+    paper_labels: Dict[str, int] = {}
+
+    communities: Dict[int, List[str]] = {}
+    vocabularies: Dict[int, List[str]] = {}
+    for area_idx, (area, confs) in enumerate(FOUR_AREAS.items()):
+        for conf in confs:
+            graph.add_node("conference", conf)
+            conference_labels[conf] = area_idx
+        short = area.split()[0]
+        communities[area_idx] = [
+            f"{short}.auth{i:03d}" for i in range(authors_per_area)
+        ]
+        for author in communities[area_idx]:
+            graph.add_node("author", author)
+            author_labels[author] = area_idx
+        vocabularies[area_idx] = [f"{short}-term-{i:02d}" for i in range(25)]
+    shared_terms = [f"common-term-{i:02d}" for i in range(30)]
+
+    paper_serial = 0
+    labeled_so_far: Dict[int, int] = {i: 0 for i in range(len(AREA_NAMES))}
+    for area_idx, (area, confs) in enumerate(FOUR_AREAS.items()):
+        for conf in confs:
+            for _ in range(papers_per_conference):
+                paper_serial += 1
+                paper = f"paper-{paper_serial:05d}"
+                graph.add_edge("published_in", paper, conf)
+
+                n_authors = 1 + int(rng.integers(3))
+                for _ in range(n_authors):
+                    if rng.random() < within_area_prob:
+                        pool = communities[area_idx]
+                    else:
+                        other = int(rng.integers(len(AREA_NAMES)))
+                        pool = communities[other]
+                    author = pool[int(rng.integers(len(pool)))]
+                    graph.add_edge("writes", author, paper)
+
+                n_terms = 4 + int(rng.integers(3))
+                for _ in range(n_terms):
+                    if rng.random() < 0.7:
+                        vocab = vocabularies[area_idx]
+                    else:
+                        vocab = shared_terms
+                    term = vocab[int(rng.integers(len(vocab)))]
+                    graph.add_edge("contains", paper, term)
+
+                if labeled_so_far[area_idx] < labeled_papers_per_area:
+                    paper_labels[paper] = area_idx
+                    labeled_so_far[area_idx] += 1
+
+    return DblpNetwork(
+        graph=graph,
+        conference_labels=conference_labels,
+        author_labels=author_labels,
+        paper_labels=paper_labels,
+        area_names=AREA_NAMES,
+    )

@@ -1,0 +1,111 @@
+"""Synthetic user-movie network (the introduction's recommendation case).
+
+The paper motivates different-typed relevance with recommendation ("we
+need to know the relatedness between users and movies").  This generator
+produces a seeded user-movie-genre-director network with planted taste
+communities: each user favours one genre, each genre has its own movie
+pool and directors, and a controllable fraction of cross-genre watches
+adds noise.  Used by the recommendation example, tests, and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..hin.graph import HeteroGraph
+from ..hin.schema import NetworkSchema
+
+__all__ = ["MovieNetwork", "movie_schema", "make_movie_network", "GENRES"]
+
+GENRES: Tuple[str, ...] = ("scifi", "romance", "action", "documentary")
+
+
+def movie_schema() -> NetworkSchema:
+    """User (U), movie (M), genre (G), director (D) schema."""
+    return NetworkSchema.from_spec(
+        types=[
+            ("user", "U"), ("movie", "M"), ("genre", "G"), ("director", "D"),
+        ],
+        relations=[
+            ("watched", "user", "movie"),
+            ("has_genre", "movie", "genre"),
+            ("directed_by", "movie", "director"),
+        ],
+    )
+
+
+@dataclass
+class MovieNetwork:
+    """A generated movie network plus its planted taste labels.
+
+    Attributes
+    ----------
+    graph:
+        The :class:`~repro.hin.graph.HeteroGraph`.
+    user_genre:
+        User key -> favourite genre (the planted taste).
+    movie_genre:
+        Movie key -> genre.
+    """
+
+    graph: HeteroGraph
+    user_genre: Dict[str, str]
+    movie_genre: Dict[str, str]
+
+
+def make_movie_network(
+    seed: int = 0,
+    users_per_genre: int = 20,
+    movies_per_genre: int = 15,
+    directors_per_genre: int = 4,
+    watches_per_user: int = 8,
+    taste_fidelity: float = 0.8,
+) -> MovieNetwork:
+    """Generate the synthetic user-movie network.
+
+    Parameters
+    ----------
+    taste_fidelity:
+        Probability a watch stays inside the user's favourite genre --
+        the planted recommendation signal.
+    """
+    rng = np.random.default_rng(seed)
+    graph = HeteroGraph(movie_schema())
+    user_genre: Dict[str, str] = {}
+    movie_genre: Dict[str, str] = {}
+    movies_by_genre: Dict[str, List[str]] = {}
+
+    for genre in GENRES:
+        graph.add_node("genre", genre)
+        movies: List[str] = []
+        directors = [
+            f"{genre}-director-{i}" for i in range(directors_per_genre)
+        ]
+        for index in range(movies_per_genre):
+            movie = f"{genre}-movie-{index:02d}"
+            movies.append(movie)
+            movie_genre[movie] = genre
+            graph.add_edge("has_genre", movie, genre)
+            director = directors[int(rng.integers(directors_per_genre))]
+            graph.add_edge("directed_by", movie, director)
+        movies_by_genre[genre] = movies
+
+    for genre in GENRES:
+        for index in range(users_per_genre):
+            user = f"{genre}-fan-{index:02d}"
+            user_genre[user] = genre
+            for _ in range(watches_per_user):
+                if rng.random() < taste_fidelity:
+                    pool = movies_by_genre[genre]
+                else:
+                    other = GENRES[int(rng.integers(len(GENRES)))]
+                    pool = movies_by_genre[other]
+                movie = pool[int(rng.integers(len(pool)))]
+                graph.add_edge("watched", user, movie)
+
+    return MovieNetwork(
+        graph=graph, user_genre=user_genre, movie_genre=movie_genre
+    )

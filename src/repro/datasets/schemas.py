@@ -1,0 +1,90 @@
+"""The two bibliographic network schemas of Fig. 3.
+
+* :func:`acm_schema` -- Fig. 3(a): papers (P), authors (A), affiliations
+  (F), terms (T), subjects (S), venues (V), conferences (C).
+* :func:`dblp_schema` -- Fig. 3(b): papers (P), authors (A), conferences
+  (C), terms (T).
+
+Relation direction conventions (forward relations; inverses exist
+implicitly): authors *write* papers (A -> P), papers are *published in*
+venues/conferences, venues *belong to* conferences, papers *contain*
+terms, papers *have* subjects, authors are *affiliated with* affiliations.
+With these directions every compact path string the paper uses (APVC,
+APT, APS, APA, CVPA, CVPAF, CVPS, CVPAPVC, APVCVPA, CPA, CPAPC, APCPA,
+PAPCPAP, CVPAPA) parses unambiguously.
+"""
+
+from __future__ import annotations
+
+from ..hin.schema import NetworkSchema
+
+__all__ = ["acm_schema", "dblp_schema", "toy_apc_schema", "bipartite_schema"]
+
+
+def acm_schema(with_citations: bool = False) -> NetworkSchema:
+    """The ACM-dataset schema of Fig. 3(a).
+
+    ``with_citations=True`` adds the paper-to-paper ``cites`` relation
+    the real ACM dataset carries.  Because ``cites`` is a self-relation,
+    compact code strings cannot traverse it unambiguously (``"PP"`` could
+    mean citing or cited-by); use relation-name path specs instead, e.g.
+    ``["writes", "cites", "writes^-1"]``.
+    """
+    relations = [
+        ("writes", "author", "paper"),
+        ("published_in", "paper", "venue"),
+        ("belongs_to", "venue", "conference"),
+        ("contains", "paper", "term"),
+        ("has_subject", "paper", "subject"),
+        ("affiliated_with", "author", "affiliation"),
+    ]
+    if with_citations:
+        relations.append(("cites", "paper", "paper"))
+    return NetworkSchema.from_spec(
+        types=[
+            ("author", "A"),
+            ("paper", "P"),
+            ("venue", "V"),
+            ("conference", "C"),
+            ("term", "T"),
+            ("subject", "S"),
+            ("affiliation", "F"),
+        ],
+        relations=relations,
+    )
+
+
+def dblp_schema() -> NetworkSchema:
+    """The DBLP-dataset schema of Fig. 3(b)."""
+    return NetworkSchema.from_spec(
+        types=[
+            ("author", "A"),
+            ("paper", "P"),
+            ("conference", "C"),
+            ("term", "T"),
+        ],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conference"),
+            ("contains", "paper", "term"),
+        ],
+    )
+
+
+def toy_apc_schema() -> NetworkSchema:
+    """Minimal author-paper-conference schema for the Fig. 4 toy graph."""
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conference", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conference"),
+        ],
+    )
+
+
+def bipartite_schema() -> NetworkSchema:
+    """A single-relation ``A -R-> B`` schema (Fig. 5 / Property 5)."""
+    return NetworkSchema.from_spec(
+        types=[("a", "A"), ("b", "B")],
+        relations=[("r", "a", "b")],
+    )

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run via ``python -m repro.experiments <id|all|list>`` or programmatically
+through :func:`get_experiment` / :func:`all_experiments`.  The DESIGN.md
+per-experiment index maps each id to its paper table/figure, workload and
+modules.
+"""
+
+from .registry import (
+    ExperimentResult,
+    all_experiments,
+    experiment,
+    get_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "experiment",
+    "get_experiment",
+]

@@ -1,0 +1,79 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table4
+    python -m repro.experiments all [--seed 7]
+
+Each experiment prints the rows/series of the corresponding paper table
+or figure (see DESIGN.md for the per-experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .registry import all_experiments, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the tables and figures of 'Relevance Search in "
+            "Heterogeneous Networks' (HeteSim, EDBT 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="an experiment id, 'all', 'list', or 'report'",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="dataset seed (default 0)"
+    )
+    parser.add_argument(
+        "--output",
+        default="EXPERIMENTS.md",
+        help="output path for 'report' (default EXPERIMENTS.md)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in all_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.experiment == "report":
+        from .report import generate_report
+
+        content = generate_report(seed=args.seed)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {args.output}")
+        return 0
+
+    if args.experiment == "all":
+        targets = all_experiments()
+    else:
+        targets = [args.experiment]
+
+    for experiment_id in targets:
+        runner = get_experiment(experiment_id)
+        start = time.perf_counter()
+        result = runner(seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(result.text)
+        print(f"\n[{experiment_id} completed in {elapsed:.2f}s]")
+        print("\n" + "#" * 72 + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

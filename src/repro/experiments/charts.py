@@ -1,0 +1,81 @@
+"""ASCII chart rendering for the figure experiments.
+
+Fig. 6 is a grouped bar chart and Fig. 7 a set of per-author series in
+the paper; the harness renders terminal-friendly equivalents so the
+*shape* of each figure is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_BAR = "#"
+
+
+def bar_chart(
+    values: Sequence[Tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart.
+
+    Bars scale to the maximum value; zero/negative values render as
+    empty bars.  Labels are right-padded for alignment.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label, _ in values)
+    peak = max((value for _, value in values), default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    for label, value in values:
+        bar = _BAR * max(0, int(round(value * scale)))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series.
+
+    ``series`` maps a series name (e.g. ``"HeteSim"``) to per-group
+    values aligned with ``groups``.  All series share one scale so bars
+    are visually comparable across series -- the property Fig. 6 needs
+    (is the HeteSim bar shorter than the PCRW bar?).
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    lines = []
+    if title:
+        lines.append(title)
+    if not groups:
+        return "\n".join(lines + ["(no data)"])
+    name_width = max(len(name) for name in series)
+    peak = max(
+        (value for values in series.values() for value in values),
+        default=0.0,
+    )
+    scale = width / peak if peak > 0 else 0.0
+    for index, group in enumerate(groups):
+        lines.append(group)
+        for name, values in series.items():
+            value = values[index]
+            bar = _BAR * max(0, int(round(value * scale)))
+            lines.append(f"  {name.ljust(name_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)

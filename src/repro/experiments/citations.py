@@ -1,0 +1,99 @@
+"""Extension experiment: citation-path semantics (beyond the paper).
+
+The real ACM dataset carries paper-to-paper citations; the paper's
+experiments never use them, but they make a sharp demonstration of the
+path-semantics thesis on a relation the compact path strings cannot even
+express (a self-relation needs explicit relation names).  Three
+author-to-author relations are compared for the hub author:
+
+* co-publication venues: ``APVCVPA`` (the Table 4 path);
+* *citing*: ``writes o cites o writes^-1`` -- authors whose work the
+  query author cites;
+* *cited-by*: ``writes o cites^-1 o writes^-1`` -- authors citing the
+  query author's work.
+
+The two citation directions give different rankings under PCRW but --
+being reverses of each other -- are linked by HeteSim's symmetry:
+``HeteSim(a, b | citing) == HeteSim(b, a | cited-by)``, which the
+experiment verifies on every reported pair.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.engine import HeteSimEngine
+from ..datasets.acm import make_acm_network
+from .registry import ExperimentResult, experiment
+from .tables import format_score, render_table
+
+TOP_K = 8
+
+
+@lru_cache(maxsize=2)
+def _cited_network(seed: int):
+    network = make_acm_network(seed=seed, with_citations=True)
+    return network, HeteSimEngine(network.graph)
+
+
+@experiment("citations")
+def run(seed: int = 0) -> ExperimentResult:
+    """Compare co-publication and citation relevance paths."""
+    network, engine = _cited_network(seed)
+    graph = network.graph
+    hub = network.personas["hub_author"]
+
+    copub = graph.schema.path("APVCVPA")
+    citing = graph.schema.path(["writes", "cites", "writes^-1"])
+    cited_by = citing.reverse()
+
+    rankings = {
+        "co-publication (APVCVPA)": engine.top_k(hub, copub, k=TOP_K),
+        "citing": engine.top_k(hub, citing, k=TOP_K),
+        "cited-by": engine.top_k(hub, cited_by, k=TOP_K),
+    }
+    rows = []
+    for rank in range(TOP_K):
+        rows.append(
+            [rank + 1]
+            + [
+                f"{ranking[rank][0]} ({format_score(ranking[rank][1])})"
+                for ranking in rankings.values()
+            ]
+        )
+    table = render_table(["Rank"] + list(rankings), rows)
+
+    # Property 3 across the two citation directions, on the top pairs.
+    symmetry_error = max(
+        abs(
+            engine.relevance(hub, author, citing)
+            - engine.relevance(author, hub, cited_by)
+        )
+        for author, _ in rankings["citing"]
+    )
+    overlap = len(
+        {k for k, _ in rankings["citing"]}
+        & {k for k, _ in rankings["co-publication (APVCVPA)"]}
+    )
+    title = (
+        "Extension: citation-path relevance for the hub author "
+        "(relation-name paths over a self-relation)"
+    )
+    note = (
+        f"HeteSim(a, b | citing) == HeteSim(b, a | cited-by) up to "
+        f"{symmetry_error:.2e} on the reported pairs; the citation and "
+        f"co-publication top-{TOP_K} share {overlap} authors -- related "
+        "but distinct semantics."
+    )
+    return ExperimentResult(
+        experiment_id="citations",
+        title=title,
+        text=f"{title}\n\n{table}\n\n{note}",
+        data={
+            "rankings": {
+                label: ranking for label, ranking in rankings.items()
+            },
+            "symmetry_error": symmetry_error,
+            "overlap_with_copub": overlap,
+        },
+    )

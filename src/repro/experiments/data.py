@@ -1,0 +1,43 @@
+"""Shared, memoised dataset construction for the experiment harness.
+
+Experiments run in one process (``python -m repro.experiments all``), so
+the generated networks and their engines are cached per seed to avoid
+regenerating the ACM network ten times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..core.engine import HeteSimEngine
+from ..datasets.acm import AcmNetwork, make_acm_network
+from ..datasets.dblp import DblpNetwork, make_dblp_four_area
+
+__all__ = ["acm", "dblp", "acm_engine", "dblp_engine"]
+
+
+@lru_cache(maxsize=4)
+def acm(seed: int = 0) -> AcmNetwork:
+    """The shared ACM-like network for a seed."""
+    return make_acm_network(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def dblp(seed: int = 0) -> DblpNetwork:
+    """The shared DBLP-like network for a seed."""
+    return make_dblp_four_area(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def acm_engine(seed: int = 0) -> Tuple[AcmNetwork, HeteSimEngine]:
+    """ACM network plus a warm :class:`HeteSimEngine` over it."""
+    network = acm(seed)
+    return network, HeteSimEngine(network.graph)
+
+
+@lru_cache(maxsize=4)
+def dblp_engine(seed: int = 0) -> Tuple[DblpNetwork, HeteSimEngine]:
+    """DBLP network plus a warm :class:`HeteSimEngine` over it."""
+    network = dblp(seed)
+    return network, HeteSimEngine(network.graph)

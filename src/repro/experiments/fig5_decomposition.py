@@ -1,0 +1,85 @@
+"""Fig. 5: atomic-relation decomposition and the normalisation ablation.
+
+The method section's worked example: the bipartite graph of Fig. 5(a),
+its HeteSim values *before* normalisation (Fig. 5(c) -- where an object's
+self-relatedness can be below other pairs', "obviously unreasonable")
+and *after* Definition 10's cosine normalisation (Fig. 5(d), self-maximum
+restored).  This experiment regenerates both matrices and quantifies the
+ablation: how many objects violate self-maximum under the raw measure
+versus the normalised one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hetesim import hetesim_matrix
+from ..datasets.toy import fig5_network
+from .registry import ExperimentResult, experiment
+from .tables import format_score, render_table
+
+
+def _matrix_table(matrix: np.ndarray, graph, title: str) -> str:
+    b_keys = graph.node_keys("b")
+    rows = [
+        [a_key] + [format_score(matrix[i, j], 2) for j in range(len(b_keys))]
+        for i, a_key in enumerate(graph.node_keys("a"))
+    ]
+    return render_table([""] + b_keys, rows, title=title)
+
+
+def _self_below_one(matrix_same_type: np.ndarray) -> int:
+    """Objects whose self-relatedness is positive but below 1.
+
+    The paper's Fig. 5 complaint: under the raw measure "the relatedness
+    of a2 and itself is 0.33.  It is obviously unreasonable."
+    """
+    diagonal = np.diag(matrix_same_type)
+    return int(((diagonal > 0) & (diagonal < 1 - 1e-12)).sum())
+
+
+@experiment("fig5")
+def run(seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 5(c)/(d) and the normalisation ablation."""
+    graph = fig5_network()
+    path = graph.schema.path("AB")
+
+    raw = hetesim_matrix(graph, path, normalized=False)
+    normalized = hetesim_matrix(graph, path, normalized=True)
+
+    raw_table = _matrix_table(
+        raw, graph, "Fig. 5(c): HeteSim before normalisation"
+    )
+    norm_table = _matrix_table(
+        normalized, graph, "Fig. 5(d): HeteSim after normalisation"
+    )
+
+    # The ablation proper needs same-typed scores: use the symmetric
+    # round-trip path ABA (whose diagonal is exactly the "object vs
+    # itself" value the paper criticises: raw(a2, a2) = 1/3).
+    round_trip = graph.schema.path("ABA")
+    raw_self = hetesim_matrix(graph, round_trip, normalized=False)
+    norm_self = hetesim_matrix(graph, round_trip, normalized=True)
+    raw_below = _self_below_one(raw_self)
+    norm_below = _self_below_one(norm_self)
+
+    note = (
+        "Ablation (path ABA): raw HeteSim gives a self-relatedness below "
+        f"1 for {raw_below} of {raw_self.shape[0]} objects (a2's is "
+        f"{format_score(raw_self[1, 1], 2)}, the paper's 'obviously "
+        f"unreasonable' value); the normalised measure for {norm_below}. "
+        "Normalisation (Def. 10) is what makes HeteSim a semi-metric."
+    )
+    title = "Fig. 5: edge-object decomposition and normalisation ablation"
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=title,
+        text=f"{title}\n\n{raw_table}\n\n{norm_table}\n\n{note}",
+        data={
+            "raw": raw.tolist(),
+            "normalized": normalized.tolist(),
+            "raw_self_below_one": raw_below,
+            "normalized_self_below_one": norm_below,
+            "raw_a2_self": float(raw_self[1, 1]),
+        },
+    )

@@ -1,0 +1,92 @@
+"""Experiment registry: one named, runnable unit per paper table/figure.
+
+Each experiment module registers a function via :func:`experiment`; the
+function returns an :class:`ExperimentResult` whose ``text`` reproduces
+the paper's rows/series and whose ``data`` carries the structured values
+the test suite and benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from ..hin.errors import QueryError
+
+__all__ = ["ExperimentResult", "experiment", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"table4"``.
+    title:
+        Human-readable title (matches the paper's caption).
+    text:
+        The rendered tables/series, ready to print.
+    data:
+        Structured values for programmatic assertions (tests, benches).
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def experiment(experiment_id: str) -> Callable[[Runner], Runner]:
+    """Decorator registering a runner under ``experiment_id``."""
+
+    def register(func: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise QueryError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return register
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up a registered runner (raises :class:`QueryError`)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise QueryError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> List[str]:
+    """All registered experiment ids, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so registrations run."""
+    from . import (  # noqa: F401 - imported for registration side effects
+        citations,
+        complexity,
+        fig5_decomposition,
+        fig6_rank_difference,
+        fig7_reach_distribution,
+        robustness,
+        table1_author_profile,
+        table2_conference_profile,
+        table3_expert_finding,
+        table4_relevance_search,
+        table5_query_auc,
+        table6_clustering,
+        table7_path_semantics,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+The harness prints the same rows/series the paper reports; this module
+keeps the formatting in one place.  No third-party table library --
+experiments must run with the core dependencies only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_score"]
+
+
+def format_score(value: float, digits: int = 4) -> str:
+    """Uniform fixed-point rendering of a relevance score or metric."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    ``rows`` cells are stringified with :func:`str`; floats should be
+    pre-formatted (:func:`format_score`) by the caller so each experiment
+    controls its precision.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has "
+                f"{len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)

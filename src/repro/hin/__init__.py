@@ -1,0 +1,73 @@
+"""Heterogeneous-information-network substrate.
+
+Everything HeteSim is built on: typed schemas, the sparse typed graph,
+meta-path algebra, transition matrices, and the edge-object decomposition
+for odd-length paths.
+"""
+
+from .builder import GraphBuilder
+from .decomposition import decompose_adjacency
+from .enumerate import enumerate_paths, enumerate_symmetric_paths
+from .errors import GraphError, PathError, QueryError, ReproError, SchemaError
+from .graph import HeteroGraph
+from .instances import count_path_instances, path_instances
+from .io import load_graph, load_graph_npz, save_graph, save_graph_npz
+from .matrices import (
+    col_normalize,
+    reachable_probability_matrix,
+    row_normalize,
+    transition_matrix,
+)
+from .merge import merge_graphs
+from .metapath import MetaPath, PathHalves, parse_path
+from .schema import NetworkSchema, ObjectType, RelationType
+from .stats import RelationStats, network_stats, path_cost_estimate, relation_stats
+from .subgraph import induced_subgraph, relation_subgraph
+from .validation import (
+    GraphReport,
+    ValidationIssue,
+    assert_valid,
+    graph_report,
+    validate_graph,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "GraphError",
+    "GraphReport",
+    "HeteroGraph",
+    "MetaPath",
+    "NetworkSchema",
+    "ObjectType",
+    "PathError",
+    "PathHalves",
+    "QueryError",
+    "RelationStats",
+    "RelationType",
+    "ReproError",
+    "SchemaError",
+    "col_normalize",
+    "count_path_instances",
+    "decompose_adjacency",
+    "enumerate_paths",
+    "enumerate_symmetric_paths",
+    "load_graph",
+    "load_graph_npz",
+    "merge_graphs",
+    "network_stats",
+    "parse_path",
+    "path_cost_estimate",
+    "path_instances",
+    "relation_stats",
+    "reachable_probability_matrix",
+    "row_normalize",
+    "save_graph",
+    "save_graph_npz",
+    "transition_matrix",
+    "ValidationIssue",
+    "assert_valid",
+    "graph_report",
+    "induced_subgraph",
+    "relation_subgraph",
+    "validate_graph",
+]

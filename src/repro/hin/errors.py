@@ -1,0 +1,37 @@
+"""Exception hierarchy for the heterogeneous-information-network substrate.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so a
+caller can catch a single base class.  Sub-classes partition faults by the
+layer that detected them:
+
+* :class:`SchemaError` -- ill-formed network schemas (duplicate types,
+  relations referencing unknown types, ...).
+* :class:`GraphError` -- ill-formed graph data (unknown node, edge whose
+  endpoints violate the relation's source/target types, ...).
+* :class:`PathError` -- ill-formed or schema-incompatible meta paths.
+* :class:`QueryError` -- bad arguments to search / measure APIs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """The network schema is ill-formed or a lookup referenced a missing
+    object type / relation."""
+
+
+class GraphError(ReproError):
+    """The graph violates its schema (unknown node, badly-typed edge, ...)
+    or a node lookup failed."""
+
+
+class PathError(ReproError):
+    """A meta path could not be parsed or is not valid under the schema."""
+
+
+class QueryError(ReproError):
+    """A relevance-search or similarity query received invalid arguments."""

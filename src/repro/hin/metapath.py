@@ -1,0 +1,289 @@
+"""Meta paths -- the paper's *relevance paths* (Definition 2).
+
+A relevance path ``P = A1 -R1-> A2 -R2-> ... -Rl-> A(l+1)`` is a sequence of
+relations over the schema defining a composite relation
+``R = R1 o R2 o ... o Rl``.  This module implements the path algebra the
+paper relies on:
+
+* parsing of compact code strings (``"APVC"``), type-name sequences, and
+  relation-name sequences (:func:`parse_path`);
+* reversal ``P^-1`` and the symmetric-path test (``P == P^-1``);
+* concatenation of concatenable paths (Definition 2's ``(P1 P2)``);
+* decomposition into equal-length halves ``P = PL PR`` (Definition 5),
+  inserting an *edge object* in the middle atomic relation for odd-length
+  paths (Definition 6) -- see :mod:`repro.hin.decomposition` for the matrix
+  realisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .errors import PathError
+from .schema import NetworkSchema, ObjectType, RelationType
+
+__all__ = ["MetaPath", "PathHalves", "parse_path"]
+
+
+class MetaPath:
+    """An immutable relevance path over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The owning :class:`~repro.hin.schema.NetworkSchema`.
+    relations:
+        A non-empty sequence of :class:`~repro.hin.schema.RelationType`
+        where each step's target type equals the next step's source type.
+
+    Examples
+    --------
+    >>> path = schema.path("APVC")          # doctest: +SKIP
+    >>> path.reverse().code()               # doctest: +SKIP
+    'CVPA'
+    """
+
+    def __init__(
+        self, schema: NetworkSchema, relations: Sequence[RelationType]
+    ) -> None:
+        relations = tuple(relations)
+        if not relations:
+            raise PathError("a meta path needs at least one relation")
+        for left, right in zip(relations, relations[1:]):
+            if left.target != right.source:
+                raise PathError(
+                    f"relations {left} and {right} are not concatenable: "
+                    f"{left.target.name} != {right.source.name}"
+                )
+        self.schema = schema
+        self.relations: Tuple[RelationType, ...] = relations
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of relations in the path (``l`` in the paper)."""
+        return len(self.relations)
+
+    @property
+    def node_types(self) -> List[ObjectType]:
+        """The ``l + 1`` object types visited, in order."""
+        types = [self.relations[0].source]
+        types.extend(rel.target for rel in self.relations)
+        return types
+
+    @property
+    def source_type(self) -> ObjectType:
+        """Type of the path's start (``A1``)."""
+        return self.relations[0].source
+
+    @property
+    def target_type(self) -> ObjectType:
+        """Type of the path's end (``A(l+1)``)."""
+        return self.relations[-1].target
+
+    def code(self) -> str:
+        """Compact code-string form, e.g. ``'APVC'``."""
+        return "".join(t.code for t in self.node_types)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def reverse(self) -> "MetaPath":
+        """The reverse path ``P^-1`` (Definition 2)."""
+        return MetaPath(
+            self.schema,
+            [rel.inverse() for rel in reversed(self.relations)],
+        )
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when ``P`` equals ``P^-1`` (a *symmetric path*)."""
+        return self == self.reverse()
+
+    def concat(self, other: "MetaPath") -> "MetaPath":
+        """Concatenate with another path (requires matching junction type)."""
+        if self.target_type != other.source_type:
+            raise PathError(
+                f"paths {self.code()} and {other.code()} are not "
+                f"concatenable: {self.target_type.name} != "
+                f"{other.source_type.name}"
+            )
+        return MetaPath(self.schema, self.relations + other.relations)
+
+    def __add__(self, other: "MetaPath") -> "MetaPath":
+        return self.concat(other)
+
+    def repeat(self, times: int) -> "MetaPath":
+        """``P`` concatenated with itself ``times`` times (``(RR^-1)^k``
+        style paths in Property 5)."""
+        if times < 1:
+            raise PathError(f"repeat count must be >= 1, got {times}")
+        result = self
+        for _ in range(times - 1):
+            result = result.concat(self)
+        return result
+
+    def subpath(self, start: int, stop: int) -> "MetaPath":
+        """The path formed by relations ``start:stop`` (Python slicing)."""
+        rels = self.relations[start:stop]
+        if not rels:
+            raise PathError(
+                f"empty subpath [{start}:{stop}] of {self.code()}"
+            )
+        return MetaPath(self.schema, rels)
+
+    # ------------------------------------------------------------------
+    # decomposition (Definition 5)
+    # ------------------------------------------------------------------
+    def halves(self) -> "PathHalves":
+        """Split into equal halves ``P = PL PR`` per Definition 5.
+
+        Even length ``l``: ``PL`` is the first ``l/2`` relations, ``PR``
+        the rest; the *middle type* is ``A(l/2 + 1)`` and no edge object is
+        needed.
+
+        Odd length: the middle relation ``R`` (index ``(l-1)/2``) must be
+        decomposed as ``R = R_O o R_I`` through an edge object E
+        (Definition 6).  The returned halves exclude that middle relation;
+        the caller appends the edge-object hop on each side (see
+        :func:`repro.hin.decomposition.decompose_adjacency`).
+        """
+        if self.length % 2 == 0:
+            mid = self.length // 2
+            return PathHalves(
+                left=self.subpath(0, mid),
+                right=self.subpath(mid, self.length),
+                middle_relation=None,
+            )
+        mid = (self.length - 1) // 2
+        left = self.subpath(0, mid) if mid > 0 else None
+        right = (
+            self.subpath(mid + 1, self.length)
+            if mid + 1 < self.length
+            else None
+        )
+        return PathHalves(
+            left=left,
+            right=right,
+            middle_relation=self.relations[mid],
+        )
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetaPath):
+            return NotImplemented
+        return self.relations == other.relations
+
+    def __hash__(self) -> int:
+        return hash(self.relations)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"MetaPath({self.code()})"
+
+
+@dataclass(frozen=True)
+class PathHalves:
+    """Result of :meth:`MetaPath.halves` (Definition 5).
+
+    ``middle_relation`` is ``None`` for even-length paths.  For odd-length
+    paths it is the atomic relation that must be split through an edge
+    object; ``left``/``right`` may then be ``None`` when the whole path is
+    the single middle relation (length-1 paths, Definition 7).
+    """
+
+    left: Optional[MetaPath]
+    right: Optional[MetaPath]
+    middle_relation: Optional[RelationType]
+
+    @property
+    def needs_edge_object(self) -> bool:
+        """True for odd-length paths (Definition 6 applies)."""
+        return self.middle_relation is not None
+
+
+PathSpec = Union[str, Sequence[str], Sequence[RelationType], MetaPath]
+
+
+def parse_path(schema: NetworkSchema, spec: PathSpec) -> MetaPath:
+    """Parse a path specification into a :class:`MetaPath`.
+
+    Accepted forms:
+
+    * an existing :class:`MetaPath` (returned unchanged);
+    * a compact code string like ``"APVC"`` -- each character is an
+      object-type code; consecutive types must be joined by exactly one
+      schema relation (the paper's shorthand, Definition 2);
+    * a sequence of full type names like ``["author", "paper", "venue"]``
+      (same uniqueness requirement);
+    * a sequence of relation names like ``["writes", "published_in"]`` --
+      explicit and unambiguous, also accepts inverse names (``"writes^-1"``);
+    * a sequence of :class:`RelationType` objects.
+
+    Raises :class:`~repro.hin.errors.PathError` for unparseable input.
+    """
+    if isinstance(spec, MetaPath):
+        return spec
+
+    if isinstance(spec, str):
+        if len(spec) < 2:
+            raise PathError(
+                f"compact path string {spec!r} needs at least two type codes"
+            )
+        try:
+            types = [schema.object_type_by_code(code) for code in spec]
+        except Exception as exc:
+            raise PathError(f"cannot parse path string {spec!r}: {exc}") from exc
+        return _path_from_types(schema, types)
+
+    spec = list(spec)
+    if not spec:
+        raise PathError("empty path specification")
+
+    if all(isinstance(item, RelationType) for item in spec):
+        return MetaPath(schema, spec)  # type: ignore[arg-type]
+
+    if all(isinstance(item, str) for item in spec):
+        # Try type names first, then relation names.
+        if all(schema.has_object_type(item) for item in spec):
+            types = [schema.object_type(item) for item in spec]
+            if len(types) < 2:
+                raise PathError(
+                    "a type-name path needs at least two types"
+                )
+            return _path_from_types(schema, types)
+        if all(schema.has_relation(item) for item in spec):
+            relations = [schema.relation(item) for item in spec]
+            return MetaPath(schema, relations)
+        unknown = [
+            item
+            for item in spec
+            if not (schema.has_object_type(item) or schema.has_relation(item))
+        ]
+        raise PathError(
+            f"path items {unknown!r} are neither object types nor relations"
+        )
+
+    raise PathError(f"cannot parse path specification {spec!r}")
+
+
+def _path_from_types(
+    schema: NetworkSchema, types: Sequence[ObjectType]
+) -> MetaPath:
+    """Resolve a type sequence to relations via unique-pair lookup."""
+    relations: List[RelationType] = []
+    for src, tgt in zip(types, types[1:]):
+        try:
+            relations.append(schema.relation_between(src.name, tgt.name))
+        except Exception as exc:
+            raise PathError(
+                f"no unique relation for step {src.name} -> {tgt.name}: {exc}"
+            ) from exc
+    return MetaPath(schema, relations)

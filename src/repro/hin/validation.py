@@ -1,0 +1,220 @@
+"""Graph integrity checking and structural reporting.
+
+Loaders and generators can produce structurally legal but semantically
+suspect networks -- isolated nodes that silently score 0 everywhere,
+dangling walk ends that leak probability mass, empty relations that make
+whole meta paths vacuous.  :func:`validate_graph` surfaces these as
+:class:`ValidationIssue` records; :func:`graph_report` produces the
+statistics a user wants before trusting relevance scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .errors import GraphError
+from .graph import HeteroGraph
+
+__all__ = [
+    "ValidationIssue",
+    "GraphReport",
+    "validate_graph",
+    "graph_report",
+    "assert_valid",
+]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural finding.
+
+    ``severity`` is ``"warning"`` (suspect but usable -- e.g. isolated
+    nodes) or ``"error"`` (breaks measure semantics -- e.g. an empty
+    object type referenced by relations).
+    """
+
+    severity: str
+    code: str
+    message: str
+
+
+@dataclass
+class GraphReport:
+    """Structural statistics of a network.
+
+    Attributes
+    ----------
+    node_counts / edge_counts:
+        Per-type and per-relation sizes.
+    isolated_nodes:
+        Per-type count of nodes with no edge in any relation.
+    dangling_sources / dangling_targets:
+        Per-relation count of source (target) objects without an outgoing
+        (incoming) instance of that relation -- the rows/columns where
+        random walks dead-end.
+    issues:
+        The :func:`validate_graph` findings.
+    """
+
+    node_counts: Dict[str, int]
+    edge_counts: Dict[str, int]
+    isolated_nodes: Dict[str, int]
+    dangling_sources: Dict[str, int]
+    dangling_targets: Dict[str, int]
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any issue has error severity."""
+        return any(issue.severity == "error" for issue in self.issues)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["GraphReport:"]
+        for type_name, count in self.node_counts.items():
+            isolated = self.isolated_nodes.get(type_name, 0)
+            suffix = f" ({isolated} isolated)" if isolated else ""
+            lines.append(f"  {type_name}: {count} nodes{suffix}")
+        for relation_name, count in self.edge_counts.items():
+            dangling = self.dangling_sources.get(relation_name, 0)
+            suffix = (
+                f" ({dangling} dangling sources)" if dangling else ""
+            )
+            lines.append(f"  {relation_name}: {count} edges{suffix}")
+        for issue in self.issues:
+            lines.append(f"  [{issue.severity}] {issue.code}: {issue.message}")
+        return "\n".join(lines)
+
+
+def validate_graph(graph: HeteroGraph) -> List[ValidationIssue]:
+    """Check a network for structural problems; returns the findings.
+
+    Checks performed:
+
+    * ``empty-type`` (error): an object type that participates in a
+      relation has zero nodes -- every path through it is vacuous.
+    * ``empty-relation`` (warning): a relation with no instances.
+    * ``isolated-nodes`` (warning): nodes untouched by any relation.
+    * ``dangling-sources`` / ``dangling-targets`` (warning): objects
+      where forward/backward walks along a relation dead-end.
+    """
+    issues: List[ValidationIssue] = []
+    used_types = set()
+    for relation in graph.schema.relations:
+        used_types.add(relation.source.name)
+        used_types.add(relation.target.name)
+
+    for type_name in sorted(used_types):
+        if graph.num_nodes(type_name) == 0:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    "empty-type",
+                    f"object type {type_name!r} participates in relations "
+                    "but has no nodes",
+                )
+            )
+
+    for relation in graph.schema.relations:
+        if graph.num_edges(relation.name) == 0:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "empty-relation",
+                    f"relation {relation.name!r} has no instances",
+                )
+            )
+            continue
+        adjacency = graph.adjacency(relation.name)
+        out_degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        in_degrees = np.asarray(adjacency.sum(axis=0)).ravel()
+        dangling_out = int((out_degrees == 0).sum())
+        dangling_in = int((in_degrees == 0).sum())
+        if dangling_out:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "dangling-sources",
+                    f"{dangling_out} {relation.source.name!r} objects have "
+                    f"no outgoing {relation.name!r} edge",
+                )
+            )
+        if dangling_in:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "dangling-targets",
+                    f"{dangling_in} {relation.target.name!r} objects have "
+                    f"no incoming {relation.name!r} edge",
+                )
+            )
+
+    isolated = _isolated_counts(graph)
+    for type_name, count in isolated.items():
+        if count:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "isolated-nodes",
+                    f"{count} {type_name!r} nodes have no edges at all",
+                )
+            )
+    return issues
+
+
+def _isolated_counts(graph: HeteroGraph) -> Dict[str, int]:
+    touched: Dict[str, np.ndarray] = {
+        t.name: np.zeros(graph.num_nodes(t.name), dtype=bool)
+        for t in graph.schema.object_types
+    }
+    for relation in graph.schema.relations:
+        adjacency = graph.adjacency(relation.name)
+        touched[relation.source.name] |= (
+            np.asarray(adjacency.sum(axis=1)).ravel() > 0
+        )
+        touched[relation.target.name] |= (
+            np.asarray(adjacency.sum(axis=0)).ravel() > 0
+        )
+    return {
+        type_name: int((~flags).sum()) for type_name, flags in touched.items()
+    }
+
+
+def graph_report(graph: HeteroGraph) -> GraphReport:
+    """Full structural report (statistics + validation findings)."""
+    dangling_sources: Dict[str, int] = {}
+    dangling_targets: Dict[str, int] = {}
+    for relation in graph.schema.relations:
+        adjacency = graph.adjacency(relation.name)
+        dangling_sources[relation.name] = int(
+            (np.asarray(adjacency.sum(axis=1)).ravel() == 0).sum()
+        )
+        dangling_targets[relation.name] = int(
+            (np.asarray(adjacency.sum(axis=0)).ravel() == 0).sum()
+        )
+    return GraphReport(
+        node_counts={
+            t.name: graph.num_nodes(t.name)
+            for t in graph.schema.object_types
+        },
+        edge_counts={
+            r.name: graph.num_edges(r.name) for r in graph.schema.relations
+        },
+        isolated_nodes=_isolated_counts(graph),
+        dangling_sources=dangling_sources,
+        dangling_targets=dangling_targets,
+        issues=validate_graph(graph),
+    )
+
+
+def assert_valid(graph: HeteroGraph) -> None:
+    """Raise :class:`GraphError` if the graph has error-severity issues."""
+    errors = [
+        issue for issue in validate_graph(graph) if issue.severity == "error"
+    ]
+    if errors:
+        details = "; ".join(issue.message for issue in errors)
+        raise GraphError(f"graph failed validation: {details}")

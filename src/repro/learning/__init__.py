@@ -1,0 +1,48 @@
+"""Learning tasks and evaluation metrics used in Section 5.
+
+Normalized-Cut spectral clustering (with a small built-in k-means), NMI,
+AUC, and the average-rank-difference metric of Fig. 6.
+"""
+
+from .auc import auc_score
+from .crossval import CrossValResult, cross_validate_path_weights
+from .kmeans import kmeans
+from .linkpred import (
+    LinkPredictionResult,
+    evaluate_link_prediction,
+    holdout_split,
+)
+from .ncut import ncut_value, normalized_cut, spectral_embedding
+from .nmi import contingency_table, normalized_mutual_information
+from .rankdiff import average_rank_difference, rank_positions
+from .significance import PairedComparison, sign_test, wilcoxon_test
+from .ranking import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+__all__ = [
+    "CrossValResult",
+    "LinkPredictionResult",
+    "PairedComparison",
+    "auc_score",
+    "cross_validate_path_weights",
+    "evaluate_link_prediction",
+    "holdout_split",
+    "average_precision",
+    "average_rank_difference",
+    "contingency_table",
+    "kmeans",
+    "normalized_cut",
+    "normalized_mutual_information",
+    "ncut_value",
+    "ndcg_at_k",
+    "precision_at_k",
+    "rank_positions",
+    "reciprocal_rank",
+    "sign_test",
+    "spectral_embedding",
+    "wilcoxon_test",
+]

@@ -1,0 +1,49 @@
+"""Area Under the ROC Curve for ranked relevance results.
+
+The query-task criterion of Table 5: rank a conference's authors by a
+relevance measure and score the ranking against binary relevance labels.
+Computed via the Mann-Whitney statistic with midrank tie handling, which
+equals the trapezoidal ROC area.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..hin.errors import QueryError
+
+__all__ = ["auc_score"]
+
+
+def auc_score(
+    labels: Sequence[int], scores: Sequence[float]
+) -> float:
+    """AUC of ``scores`` against binary ``labels`` (1 = relevant).
+
+    Equivalent to the probability that a uniformly chosen relevant object
+    outranks a uniformly chosen irrelevant one, counting ties as half.
+    Raises :class:`~repro.hin.errors.QueryError` unless both classes are
+    present.
+    """
+    labels = np.asarray(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise QueryError(
+            f"labels and scores must align: {labels.shape} vs {scores.shape}"
+        )
+    positives = int(np.sum(labels == 1))
+    negatives = int(np.sum(labels == 0))
+    if positives == 0 or negatives == 0:
+        raise QueryError(
+            f"AUC needs both classes; got {positives} positives and "
+            f"{negatives} negatives"
+        )
+    if positives + negatives != labels.size:
+        raise QueryError("labels must be binary (0 or 1)")
+    ranks = stats.rankdata(scores)
+    positive_rank_sum = float(ranks[labels == 1].sum())
+    u_statistic = positive_rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)

@@ -1,0 +1,102 @@
+"""Small, dependency-free k-means used by the spectral clustering step.
+
+Lloyd's algorithm with k-means++ seeding and multiple restarts, seeded for
+reproducibility.  Kept deliberately minimal -- it only has to cluster the
+low-dimensional spectral embeddings produced by
+:mod:`repro.learning.ncut`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..hin.errors import QueryError
+
+__all__ = ["kmeans"]
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by squared distance."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = rng.integers(n)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total == 0:
+            # All points coincide with chosen centres; fill with copies.
+            centers[i:] = centers[0]
+            break
+        probabilities = closest_sq / total
+        chosen = rng.choice(n, p=probabilities)
+        centers[i] = points[chosen]
+        dist_sq = np.sum((points - centers[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iterations: int,
+) -> Tuple[np.ndarray, float]:
+    """Run Lloyd iterations; return ``(labels, inertia)``."""
+    k = centers.shape[0]
+    labels = np.full(points.shape[0], -1, dtype=np.int64)
+    for _iteration in range(max_iterations):
+        distances = (
+            np.sum(points ** 2, axis=1)[:, None]
+            - 2 * points @ centers.T
+            + np.sum(centers ** 2, axis=1)[None, :]
+        )
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+    final_distances = np.sum(
+        (points - centers[labels]) ** 2, axis=1
+    )
+    return labels, float(final_distances.sum())
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    restarts: int = 10,
+    max_iterations: int = 100,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Cluster ``points`` into ``k`` groups; return integer labels.
+
+    Runs ``restarts`` independent k-means++ initialisations and keeps the
+    lowest-inertia solution.  Deterministic for a fixed ``seed``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise QueryError(
+            f"points must be a 2-D array, got shape {points.shape}"
+        )
+    if not 1 <= k <= points.shape[0]:
+        raise QueryError(
+            f"k must be in [1, {points.shape[0]}], got {k}"
+        )
+    rng = np.random.default_rng(seed)
+    best_labels: Optional[np.ndarray] = None
+    best_inertia = np.inf
+    for _ in range(restarts):
+        centers = _kmeanspp_init(points, k, rng)
+        labels, inertia = _lloyd(points, centers.copy(), max_iterations)
+        if inertia < best_inertia:
+            best_inertia = inertia
+            best_labels = labels
+    assert best_labels is not None
+    return best_labels

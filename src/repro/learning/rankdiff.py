@@ -1,0 +1,51 @@
+"""Average rank difference against a ground-truth ranking (Fig. 6).
+
+The paper's relative-importance accuracy metric: rank author-conference
+relatedness by publication count (ground truth), rank it again by a
+measure (HeteSim / PCRW), and average the absolute rank displacement of
+the top-``n`` ground-truth objects.  Lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..hin.errors import QueryError
+
+__all__ = ["average_rank_difference", "rank_positions"]
+
+
+def rank_positions(ranking: Sequence[str]) -> Dict[str, int]:
+    """Map each item to its 1-based position in a ranking."""
+    positions: Dict[str, int] = {}
+    for position, item in enumerate(ranking, start=1):
+        if item in positions:
+            raise QueryError(f"duplicate item {item!r} in ranking")
+        positions[item] = position
+    return positions
+
+
+def average_rank_difference(
+    ground_truth: Sequence[str],
+    measured: Sequence[str],
+    top_n: int = 200,
+) -> float:
+    """Mean ``|rank_gt - rank_measured|`` over the top-``top_n`` of the
+    ground truth.
+
+    Objects missing from the measured ranking are placed just past its
+    end (the harshest consistent penalty).  Raises
+    :class:`~repro.hin.errors.QueryError` for an empty ground truth.
+    """
+    if not ground_truth:
+        raise QueryError("ground-truth ranking must be non-empty")
+    if top_n < 1:
+        raise QueryError(f"top_n must be >= 1, got {top_n}")
+    measured_positions = rank_positions(measured)
+    missing_rank = len(measured) + 1
+    considered = list(ground_truth)[:top_n]
+    total = 0.0
+    for gt_rank, item in enumerate(considered, start=1):
+        measured_rank = measured_positions.get(item, missing_rank)
+        total += abs(gt_rank - measured_rank)
+    return total / len(considered)

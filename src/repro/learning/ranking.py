@@ -1,0 +1,108 @@
+"""Ranked-retrieval metrics for evaluating relevance search.
+
+The paper evaluates rankings with AUC (Table 5) and average rank
+difference (Fig. 6); this module adds the standard top-heavy metrics a
+downstream user of a relevance-search system needs: precision@k,
+average precision, reciprocal rank, and NDCG.  All operate on a ranked
+list of keys plus a set (or graded dict) of relevant keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Set, Union
+
+from ..hin.errors import QueryError
+
+__all__ = [
+    "precision_at_k",
+    "average_precision",
+    "reciprocal_rank",
+    "ndcg_at_k",
+]
+
+Relevant = Union[Set[str], Mapping[str, float]]
+
+
+def _gain(relevant: Relevant, key: str) -> float:
+    if isinstance(relevant, Mapping):
+        return float(relevant.get(key, 0.0))
+    return 1.0 if key in relevant else 0.0
+
+
+def precision_at_k(
+    ranking: Sequence[str], relevant: Relevant, k: int
+) -> float:
+    """Fraction of the top-``k`` results that are relevant.
+
+    Graded relevance counts any positive gain as relevant.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not ranking:
+        raise QueryError("ranking must be non-empty")
+    top = ranking[:k]
+    hits = sum(1 for key in top if _gain(relevant, key) > 0)
+    return hits / k
+
+
+def average_precision(ranking: Sequence[str], relevant: Relevant) -> float:
+    """Mean of precision@i over the ranks of the relevant results.
+
+    0 when nothing relevant exists in the universe; the normaliser is the
+    total number of relevant items, so missing items hurt.
+    """
+    if not ranking:
+        raise QueryError("ranking must be non-empty")
+    if isinstance(relevant, Mapping):
+        total_relevant = sum(1 for gain in relevant.values() if gain > 0)
+    else:
+        total_relevant = len(relevant)
+    if total_relevant == 0:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, key in enumerate(ranking, start=1):
+        if _gain(relevant, key) > 0:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / total_relevant
+
+
+def reciprocal_rank(ranking: Sequence[str], relevant: Relevant) -> float:
+    """``1 / rank`` of the first relevant result (0 when none appears)."""
+    if not ranking:
+        raise QueryError("ranking must be non-empty")
+    for position, key in enumerate(ranking, start=1):
+        if _gain(relevant, key) > 0:
+            return 1.0 / position
+    return 0.0
+
+
+def ndcg_at_k(ranking: Sequence[str], relevant: Relevant, k: int) -> float:
+    """Normalised discounted cumulative gain over the top-``k``.
+
+    Supports graded relevance (a mapping key -> gain); binary sets get
+    gain 1.  Returns 0 when the ideal DCG is 0 (nothing relevant).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not ranking:
+        raise QueryError("ranking must be non-empty")
+    dcg = sum(
+        _gain(relevant, key) / math.log2(position + 1)
+        for position, key in enumerate(ranking[:k], start=1)
+    )
+    if isinstance(relevant, Mapping):
+        gains = sorted(
+            (gain for gain in relevant.values() if gain > 0), reverse=True
+        )
+    else:
+        gains = [1.0] * len(relevant)
+    ideal = sum(
+        gain / math.log2(position + 1)
+        for position, gain in enumerate(gains[:k], start=1)
+    )
+    if ideal == 0:
+        return 0.0
+    return dcg / ideal

@@ -1,0 +1,107 @@
+"""Significance testing for paired measure comparisons.
+
+Tables 5 and Fig. 6 compare two measures across several query conditions
+(9 conferences, 14 conferences).  A consistent-but-small margin raises
+the obvious question: could the win pattern be chance?  The standard
+answer for paired wins/losses is the **sign test** (exact binomial on
+the number of wins among non-ties), and for paired magnitudes the
+**Wilcoxon signed-rank test** -- both provided here on top of scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..hin.errors import QueryError
+
+__all__ = ["PairedComparison", "sign_test", "wilcoxon_test"]
+
+
+@dataclass
+class PairedComparison:
+    """Result of a paired significance test.
+
+    Attributes
+    ----------
+    wins / losses / ties:
+        Per-condition outcome counts for "first measure beats second".
+    p_value:
+        Two-sided p-value of the null "neither measure wins more often"
+        (sign test) or "the paired differences are symmetric around 0"
+        (Wilcoxon).
+    """
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the null is rejected at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _validate(first: Sequence[float], second: Sequence[float]) -> None:
+    if len(first) != len(second):
+        raise QueryError(
+            f"paired sequences must align: {len(first)} vs {len(second)}"
+        )
+    if len(first) == 0:
+        raise QueryError("paired sequences must be non-empty")
+
+
+def sign_test(
+    first: Sequence[float], second: Sequence[float]
+) -> PairedComparison:
+    """Exact two-sided sign test on paired condition scores.
+
+    Ties are dropped (the standard treatment); with all pairs tied the
+    p-value is 1 (no evidence either way).
+    """
+    _validate(first, second)
+    differences = np.asarray(first, dtype=float) - np.asarray(
+        second, dtype=float
+    )
+    wins = int((differences > 0).sum())
+    losses = int((differences < 0).sum())
+    ties = int((differences == 0).sum())
+    effective = wins + losses
+    if effective == 0:
+        p_value = 1.0
+    else:
+        p_value = float(
+            stats.binomtest(wins, effective, p=0.5).pvalue
+        )
+    return PairedComparison(
+        wins=wins, losses=losses, ties=ties, p_value=p_value
+    )
+
+
+def wilcoxon_test(
+    first: Sequence[float], second: Sequence[float]
+) -> PairedComparison:
+    """Two-sided Wilcoxon signed-rank test on paired condition scores.
+
+    Falls back to p = 1 when every pair is tied (the statistic is
+    undefined there).
+    """
+    _validate(first, second)
+    differences = np.asarray(first, dtype=float) - np.asarray(
+        second, dtype=float
+    )
+    wins = int((differences > 0).sum())
+    losses = int((differences < 0).sum())
+    ties = int((differences == 0).sum())
+    if wins + losses == 0:
+        p_value = 1.0
+    else:
+        p_value = float(
+            stats.wilcoxon(differences, zero_method="wilcox").pvalue
+        )
+    return PairedComparison(
+        wins=wins, losses=losses, ties=ties, p_value=p_value
+    )

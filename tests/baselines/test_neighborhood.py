@@ -1,0 +1,110 @@
+"""Unit tests for the neighbour-set similarity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.neighborhood import (
+    cosine_similarity_matrix,
+    jaccard_similarity_matrix,
+    neighborhood_rank,
+    scan_similarity_matrix,
+)
+from repro.hin.errors import QueryError
+
+
+class TestCosine:
+    def test_self_similarity_one(self, fig4):
+        matrix = cosine_similarity_matrix(fig4, "writes")
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, fig4):
+        matrix = cosine_similarity_matrix(fig4, "writes")
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_known_value(self, fig4):
+        # Tom {p1,p2}, Mary {p2,p3}: overlap 1, norms sqrt(2) each.
+        matrix = cosine_similarity_matrix(fig4, "writes")
+        tom = fig4.node_index("author", "Tom")
+        mary = fig4.node_index("author", "Mary")
+        assert matrix[tom, mary] == pytest.approx(0.5)
+
+    def test_disjoint_pair_zero(self, fig4):
+        matrix = cosine_similarity_matrix(fig4, "writes")
+        tom = fig4.node_index("author", "Tom")
+        jim = fig4.node_index("author", "Jim")
+        assert matrix[tom, jim] == 0.0
+
+    def test_isolated_node_scores_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        matrix = cosine_similarity_matrix(fig4, "writes")
+        lurker = fig4.node_index("author", "lurker")
+        np.testing.assert_array_equal(matrix[lurker], 0.0)
+
+
+class TestJaccard:
+    def test_known_value(self, fig4):
+        # Tom {p1,p2}, Mary {p2,p3}: |∩|=1, |∪|=3.
+        matrix = jaccard_similarity_matrix(fig4, "writes")
+        tom = fig4.node_index("author", "Tom")
+        mary = fig4.node_index("author", "Mary")
+        assert matrix[tom, mary] == pytest.approx(1 / 3)
+
+    def test_self_similarity_one(self, fig4):
+        matrix = jaccard_similarity_matrix(fig4, "writes")
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_range(self, fig4):
+        matrix = jaccard_similarity_matrix(fig4, "writes")
+        assert (matrix >= 0).all() and (matrix <= 1 + 1e-12).all()
+
+    def test_ignores_weights(self):
+        from repro.datasets.schemas import bipartite_schema
+        from repro.hin.graph import HeteroGraph
+
+        graph = HeteroGraph(bipartite_schema())
+        graph.add_edge("r", "a1", "b1", weight=5.0)
+        graph.add_edge("r", "a2", "b1", weight=1.0)
+        matrix = jaccard_similarity_matrix(graph, "r")
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+
+class TestScan:
+    def test_known_value(self, fig4):
+        # SCAN(Tom, Mary) = 1 / sqrt(2*2) = 0.5.
+        matrix = scan_similarity_matrix(fig4, "writes")
+        tom = fig4.node_index("author", "Tom")
+        mary = fig4.node_index("author", "Mary")
+        assert matrix[tom, mary] == pytest.approx(0.5)
+
+    def test_symmetric(self, fig4):
+        matrix = scan_similarity_matrix(fig4, "writes")
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_inverse_relation_works(self, fig4):
+        """Paper similarity through shared authors (writes^-1)."""
+        matrix = scan_similarity_matrix(fig4, "writes^-1")
+        assert matrix.shape == (4, 4)
+        p1 = fig4.node_index("paper", "p1")
+        p2 = fig4.node_index("paper", "p2")
+        assert matrix[p1, p2] > 0
+
+
+class TestRank:
+    def test_self_first(self, fig4):
+        ranking = neighborhood_rank(fig4, "writes", "Tom")
+        assert ranking[0] == ("Tom", pytest.approx(1.0))
+
+    def test_all_measures_agree_on_ordering_here(self, fig4):
+        orders = [
+            [k for k, _ in neighborhood_rank(fig4, "writes", "Tom", m)]
+            for m in ("cosine", "jaccard", "scan")
+        ]
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_unknown_measure_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            neighborhood_rank(fig4, "writes", "Tom", measure="euclid")
+
+    def test_unknown_source_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            neighborhood_rank(fig4, "writes", "ghost")

@@ -1,0 +1,86 @@
+"""Unit tests for the PathSim baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pathsim import (
+    path_count_matrix,
+    pathsim_matrix,
+    pathsim_pair,
+    pathsim_rank,
+)
+from repro.hin.errors import PathError, QueryError
+
+
+class TestPathCounts:
+    def test_counts_path_instances(self, fig4):
+        path = fig4.schema.path("APA")
+        counts = path_count_matrix(fig4, path).toarray()
+        tom = fig4.node_index("author", "Tom")
+        mary = fig4.node_index("author", "Mary")
+        # Tom and Mary share exactly one paper (p2).
+        assert counts[tom, mary] == 1
+        # Tom-Tom: two papers.
+        assert counts[tom, tom] == 2
+
+    def test_counts_unnormalised(self, fig4):
+        path = fig4.schema.path("APA")
+        counts = path_count_matrix(fig4, path)
+        assert counts.dtype.kind == "f"
+        assert counts.sum() > fig4.num_nodes("author")
+
+
+class TestPathSim:
+    def test_self_similarity_is_one(self, fig4):
+        path = fig4.schema.path("APA")
+        matrix = pathsim_matrix(fig4, path)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric_matrix(self, fig4):
+        path = fig4.schema.path("APA")
+        matrix = pathsim_matrix(fig4, path)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_known_value(self, fig4):
+        # PathSim(Tom, Mary | APA) = 2*1 / (2 + 2) = 0.5.
+        path = fig4.schema.path("APA")
+        assert pathsim_pair(fig4, path, "Tom", "Mary") == pytest.approx(0.5)
+
+    def test_unit_interval(self, fig4):
+        path = fig4.schema.path("APA")
+        matrix = pathsim_matrix(fig4, path)
+        assert (matrix >= 0).all() and (matrix <= 1 + 1e-12).all()
+
+    def test_asymmetric_path_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(PathError):
+            pathsim_matrix(fig4, path)
+        with pytest.raises(PathError):
+            pathsim_pair(fig4, path, "Tom", "KDD")
+        with pytest.raises(PathError):
+            pathsim_rank(fig4, path, "Tom")
+
+    def test_rank_self_first(self, fig4):
+        path = fig4.schema.path("APA")
+        ranking = pathsim_rank(fig4, path, "Tom")
+        assert ranking[0] == ("Tom", pytest.approx(1.0))
+
+    def test_rank_matches_matrix(self, fig4):
+        path = fig4.schema.path("APA")
+        matrix = pathsim_matrix(fig4, path)
+        tom = fig4.node_index("author", "Tom")
+        ranked = dict(pathsim_rank(fig4, path, "Tom"))
+        for j, author in enumerate(fig4.node_keys("author")):
+            assert ranked[author] == pytest.approx(matrix[tom, j])
+
+    def test_unknown_nodes_rejected(self, fig4):
+        path = fig4.schema.path("APA")
+        with pytest.raises(QueryError):
+            pathsim_pair(fig4, path, "ghost", "Tom")
+        with pytest.raises(QueryError):
+            pathsim_rank(fig4, path, "ghost")
+
+    def test_isolated_object_scores_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        path = fig4.schema.path("APA")
+        assert pathsim_pair(fig4, path, "lurker", "lurker") == 0.0

@@ -1,0 +1,54 @@
+"""Unit tests for the PCRW baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcrw import pcrw_matrix, pcrw_pair, pcrw_rank, pcrw_vector
+from repro.hin.errors import QueryError
+
+
+class TestPcrw:
+    def test_pair_is_reach_probability(self, fig4):
+        path = fig4.schema.path("APC")
+        assert pcrw_pair(fig4, path, "Tom", "KDD") == pytest.approx(1.0)
+        assert pcrw_pair(fig4, path, "Mary", "KDD") == pytest.approx(0.5)
+
+    def test_matrix_rows_substochastic(self, fig4):
+        path = fig4.schema.path("APC")
+        matrix = pcrw_matrix(fig4, path)
+        assert (matrix.sum(axis=1) <= 1 + 1e-12).all()
+
+    def test_vector_matches_matrix(self, fig4):
+        path = fig4.schema.path("APC")
+        matrix = pcrw_matrix(fig4, path)
+        tom = fig4.node_index("author", "Tom")
+        np.testing.assert_allclose(pcrw_vector(fig4, path, "Tom"), matrix[tom])
+
+    def test_asymmetry(self, fig4):
+        """PCRW(s, t | P) != PCRW(t, s | P^-1) in general -- the property
+        HeteSim fixes (Section 5.2.2)."""
+        forward = fig4.schema.path("APC")
+        backward = forward.reverse()
+        tom_kdd = pcrw_pair(fig4, forward, "Tom", "KDD")
+        kdd_tom = pcrw_pair(fig4, backward, "KDD", "Tom")
+        assert tom_kdd != pytest.approx(kdd_tom)
+
+    def test_rank_descending_and_complete(self, fig4):
+        path = fig4.schema.path("APC")
+        ranking = pcrw_rank(fig4, path, "Tom")
+        assert len(ranking) == fig4.num_nodes("conference")
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert ranking[0][0] == "KDD"
+
+    def test_unknown_nodes_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            pcrw_pair(fig4, path, "ghost", "KDD")
+        with pytest.raises(QueryError):
+            pcrw_pair(fig4, path, "Tom", "ghost")
+
+    def test_dangling_source_scores_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        path = fig4.schema.path("APC")
+        assert pcrw_pair(fig4, path, "lurker", "KDD") == 0.0

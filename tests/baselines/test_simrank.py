@@ -1,0 +1,118 @@
+"""Unit tests for the SimRank baseline and its Property 5 recursion."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.globalgraph import build_global_index
+from repro.baselines.simrank import simrank, simrank_meeting_iterations
+from repro.core.hetesim import hetesim_matrix
+from repro.datasets.random_hin import make_random_bipartite
+from repro.hin.errors import QueryError
+
+
+class TestGlobalIndex:
+    def test_total_node_count(self, fig4):
+        index = build_global_index(fig4)
+        assert index.num_nodes == fig4.num_nodes()
+
+    def test_roundtrip_labels(self, fig4):
+        index = build_global_index(fig4)
+        tom_global = index.index_of("author", fig4.node_index("author", "Tom"))
+        assert index.label_of(tom_global) == ("author", "Tom")
+
+    def test_adjacency_blocks(self, fig4):
+        index = build_global_index(fig4)
+        writes = fig4.adjacency("writes").toarray()
+        a_slice = index.type_slice("author", fig4.num_nodes("author"))
+        p_slice = index.type_slice("paper", fig4.num_nodes("paper"))
+        block = index.adjacency.toarray()[a_slice, p_slice]
+        np.testing.assert_allclose(block, writes)
+
+
+class TestSimRank:
+    def test_diagonal_is_one(self, fig4):
+        similarity = simrank(fig4, iterations=3)
+        np.testing.assert_allclose(np.diag(similarity), 1.0)
+
+    def test_symmetric(self, fig4):
+        similarity = simrank(fig4, iterations=3)
+        np.testing.assert_allclose(similarity, similarity.T, atol=1e-12)
+
+    def test_range(self, fig4):
+        similarity = simrank(fig4, iterations=4)
+        assert (similarity >= -1e-12).all()
+        assert (similarity <= 1 + 1e-12).all()
+
+    def test_zero_iterations_is_identity(self, fig4):
+        similarity = simrank(fig4, iterations=0)
+        np.testing.assert_allclose(similarity, np.eye(similarity.shape[0]))
+
+    def test_similar_authors_score_higher(self, fig4):
+        """Tom and Mary share a paper; Tom and Jim do not."""
+        index = build_global_index(fig4)
+        similarity = simrank(fig4, iterations=5)
+
+        def sim(author_a, author_b):
+            i = index.index_of("author", fig4.node_index("author", author_a))
+            j = index.index_of("author", fig4.node_index("author", author_b))
+            return similarity[i, j]
+
+        assert sim("Tom", "Mary") > sim("Tom", "Jim")
+
+    def test_bad_parameters(self, fig4):
+        with pytest.raises(QueryError):
+            simrank(fig4, decay=0.0)
+        with pytest.raises(QueryError):
+            simrank(fig4, decay=1.5)
+        with pytest.raises(QueryError):
+            simrank(fig4, iterations=-1)
+
+
+class TestMeetingRecursion:
+    def test_property5_identity(self):
+        """S^A_k == raw HeteSim(. | (R R^-1)^k) -- Property 5 with C=1."""
+        graph = make_random_bipartite(6, 5, edge_prob=0.5, seed=2)
+        for hops in (1, 2, 3):
+            recursion = simrank_meeting_iterations(graph, "r", hops)[-1]
+            meta = graph.schema.path("A" + "BA" * hops)
+            hetesim_raw = hetesim_matrix(graph, meta, normalized=False)
+            np.testing.assert_allclose(recursion, hetesim_raw, atol=1e-10)
+
+    def test_iterations_list_length(self):
+        graph = make_random_bipartite(5, 5, seed=1)
+        assert len(simrank_meeting_iterations(graph, "r", 4)) == 4
+
+    def test_matrices_symmetric(self):
+        graph = make_random_bipartite(6, 4, seed=9)
+        for matrix in simrank_meeting_iterations(graph, "r", 3):
+            np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_bad_parameters(self):
+        graph = make_random_bipartite(4, 4, seed=0)
+        with pytest.raises(QueryError):
+            simrank_meeting_iterations(graph, "r", 0)
+        with pytest.raises(QueryError):
+            simrank_meeting_iterations(graph, "r", 2, side="both")
+
+
+class TestNaiveCrossValidation:
+    def test_matrix_matches_naive_on_fig4(self, fig4):
+        from repro.baselines.simrank import simrank_naive
+
+        fast = simrank(fig4, decay=0.8, iterations=4)
+        slow = simrank_naive(fig4, decay=0.8, iterations=4)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_matrix_matches_naive_on_random_bipartite(self):
+        from repro.baselines.simrank import simrank_naive
+
+        graph = make_random_bipartite(5, 4, edge_prob=0.5, seed=3)
+        fast = simrank(graph, decay=0.6, iterations=3)
+        slow = simrank_naive(graph, decay=0.6, iterations=3)
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_naive_validates_parameters(self, fig4):
+        from repro.baselines.simrank import simrank_naive
+
+        with pytest.raises(QueryError):
+            simrank_naive(fig4, decay=0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for Monte-Carlo approximate HeteSim."""
+
+import pytest
+
+from repro.core.approx import monte_carlo_hetesim
+from repro.core.hetesim import hetesim_pair
+from repro.hin.errors import QueryError
+
+
+class TestConvergence:
+    def test_converges_on_even_path(self, fig4):
+        path = fig4.schema.path("APC")
+        exact = hetesim_pair(fig4, path, "Tom", "KDD")
+        estimate = monte_carlo_hetesim(
+            fig4, path, "Tom", "KDD", walks=4000, seed=0
+        )
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_converges_on_odd_path(self, fig5):
+        path = fig5.schema.path("AB")
+        exact = hetesim_pair(fig5, path, "a2", "b3")
+        estimate = monte_carlo_hetesim(
+            fig5, path, "a2", "b3", walks=4000, seed=0
+        )
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_raw_mode_converges(self, fig4):
+        path = fig4.schema.path("APC")
+        exact = hetesim_pair(fig4, path, "Tom", "KDD", normalized=False)
+        estimate = monte_carlo_hetesim(
+            fig4, path, "Tom", "KDD", walks=4000, normalized=False, seed=1
+        )
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_more_walks_reduce_error(self, fig4):
+        """Average error over seeds shrinks with the walk budget."""
+        path = fig4.schema.path("APAPC")
+        exact = hetesim_pair(fig4, path, "Tom", "SIGMOD")
+
+        def mean_error(walks):
+            errors = [
+                abs(
+                    monte_carlo_hetesim(
+                        fig4, path, "Tom", "SIGMOD", walks=walks, seed=seed
+                    )
+                    - exact
+                )
+                for seed in range(5)
+            ]
+            return sum(errors) / len(errors)
+
+        assert mean_error(2000) <= mean_error(20) + 1e-9
+
+
+class TestBehaviour:
+    def test_deterministic_per_seed(self, fig4):
+        path = fig4.schema.path("APC")
+        first = monte_carlo_hetesim(fig4, path, "Tom", "KDD", walks=50, seed=7)
+        second = monte_carlo_hetesim(fig4, path, "Tom", "KDD", walks=50, seed=7)
+        assert first == second
+
+    def test_zero_for_unreachable_pair(self, fig4):
+        path = fig4.schema.path("APC")
+        assert monte_carlo_hetesim(
+            fig4, path, "Tom", "SIGMOD", walks=200, seed=0
+        ) == 0.0
+
+    def test_range(self, fig4):
+        path = fig4.schema.path("APC")
+        for seed in range(5):
+            estimate = monte_carlo_hetesim(
+                fig4, path, "Mary", "KDD", walks=100, seed=seed
+            )
+            assert 0 <= estimate <= 1 + 1e-9
+
+    def test_dangling_source_scores_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        path = fig4.schema.path("APC")
+        assert monte_carlo_hetesim(
+            fig4, path, "lurker", "KDD", walks=100, seed=0
+        ) == 0.0
+
+    def test_weighted_edges_respected(self):
+        """Heavier edges attract proportionally more walks."""
+        from repro.datasets.schemas import bipartite_schema
+        from repro.hin.graph import HeteroGraph
+
+        graph = HeteroGraph(bipartite_schema())
+        graph.add_edge("r", "a1", "b1", weight=9.0)
+        graph.add_edge("r", "a1", "b2", weight=1.0)
+        path = graph.schema.path("AB")
+        heavy = monte_carlo_hetesim(
+            graph, path, "a1", "b1", walks=3000, normalized=False, seed=0
+        )
+        light = monte_carlo_hetesim(
+            graph, path, "a1", "b2", walks=3000, normalized=False, seed=0
+        )
+        assert heavy > light
+
+
+class TestValidation:
+    def test_bad_walk_count(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            monte_carlo_hetesim(fig4, path, "Tom", "KDD", walks=0)
+
+    def test_unknown_endpoints(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            monte_carlo_hetesim(fig4, path, "ghost", "KDD")
+        with pytest.raises(QueryError):
+            monte_carlo_hetesim(fig4, path, "Tom", "ghost")

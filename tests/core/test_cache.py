@@ -1,0 +1,117 @@
+"""Unit tests for the path-matrix materialisation cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import PathMatrixCache
+from repro.hin.matrices import reachable_probability_matrix
+
+
+class TestPathMatrixCache:
+    def test_result_matches_direct_computation(self, fig4):
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        np.testing.assert_allclose(
+            cache.reach_prob(path).toarray(),
+            reachable_probability_matrix(fig4, path).toarray(),
+        )
+
+    def test_second_request_is_a_hit(self, fig4):
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        cache.reach_prob(path)
+        assert cache.hits == 0
+        cache.reach_prob(path)
+        assert cache.hits == 1
+
+    def test_prefixes_are_cached(self, fig4):
+        cache = PathMatrixCache(fig4)
+        cache.reach_prob(fig4.schema.path("APC"))
+        # The AP prefix should now be materialised.
+        assert cache.contains(fig4.schema.path("AP"))
+
+    def test_prefix_reuse(self, fig4):
+        cache = PathMatrixCache(fig4)
+        cache.reach_prob(fig4.schema.path("AP"))
+        cached_count = cache.num_cached
+        longer = cache.reach_prob(fig4.schema.path("APC"))
+        np.testing.assert_allclose(
+            longer.toarray(),
+            reachable_probability_matrix(
+                fig4, fig4.schema.path("APC")
+            ).toarray(),
+        )
+        assert cache.num_cached > cached_count
+
+    def test_prefix_caching_can_be_disabled(self, fig4):
+        cache = PathMatrixCache(fig4, cache_prefixes=False)
+        cache.reach_prob(fig4.schema.path("APC"))
+        assert not cache.contains(fig4.schema.path("AP"))
+        # The full path itself is still cached.
+        assert cache.contains(fig4.schema.path("APC"))
+
+    def test_put_and_contains(self, fig4):
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("AP")
+        matrix = reachable_probability_matrix(fig4, path)
+        cache.put(path, matrix)
+        assert cache.contains(path)
+        np.testing.assert_allclose(
+            cache.reach_prob(path).toarray(), matrix.toarray()
+        )
+        assert cache.hits == 1
+
+    def test_clear(self, fig4):
+        cache = PathMatrixCache(fig4)
+        cache.reach_prob(fig4.schema.path("APC"))
+        cache.clear()
+        assert cache.num_cached == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_distinct_paths_dont_collide(self, fig4):
+        cache = PathMatrixCache(fig4)
+        apa = cache.reach_prob(fig4.schema.path("APA"))
+        apc = cache.reach_prob(fig4.schema.path("APC"))
+        assert apa.shape != apc.shape
+
+    def test_reverse_path_is_distinct_entry(self, fig4):
+        cache = PathMatrixCache(fig4)
+        cache.reach_prob(fig4.schema.path("APC"))
+        assert not cache.contains(fig4.schema.path("CPA"))
+
+    def test_nbytes_accounting(self, fig4):
+        cache = PathMatrixCache(fig4)
+        assert cache.nbytes == 0
+        cache.reach_prob(fig4.schema.path("APC"))
+        populated = cache.nbytes
+        assert populated > 0
+        cache.clear()
+        assert cache.nbytes == 0
+
+    def test_selective_invalidation_by_relation(self, fig4):
+        """Mutating one relation leaves other relations' entries fresh."""
+        cache = PathMatrixCache(fig4)
+        pc = fig4.schema.path("PC")    # published_in only
+        ap = fig4.schema.path("AP")    # writes only
+        cache.reach_prob(pc)
+        cache.reach_prob(ap)
+        # Mutate writes between existing nodes: PC stays fresh, AP stale.
+        fig4.add_edge("writes", "Tom", "p3")
+        assert cache.contains(pc)
+        assert not cache.contains(ap)
+        cache.reach_prob(pc)
+        assert cache.hits == 1  # served from cache
+
+    def test_stale_entry_recomputed_correctly(self, fig4):
+        import numpy as np
+        from repro.hin.matrices import reachable_probability_matrix
+
+        cache = PathMatrixCache(fig4)
+        ap = fig4.schema.path("AP")
+        cache.reach_prob(ap)
+        fig4.add_edge("writes", "Tom", "p4")
+        refreshed = cache.reach_prob(ap)
+        np.testing.assert_allclose(
+            refreshed.toarray(),
+            reachable_probability_matrix(fig4, ap).toarray(),
+        )

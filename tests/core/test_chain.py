@@ -1,0 +1,68 @@
+"""Unit tests for optimal matrix-chain evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import optimal_chain_order, reach_prob_chain
+from repro.hin.errors import QueryError
+from repro.hin.matrices import reachable_probability_matrix
+
+
+class TestOptimalChainOrder:
+    def test_single_matrix_no_steps(self):
+        assert optimal_chain_order([3, 4]) == []
+
+    def test_two_matrices_one_step(self):
+        assert optimal_chain_order([3, 4, 5]) == [(0, 1)]
+
+    def test_clrs_textbook_example(self):
+        """CLRS 15.2: dims (30,35,15,5,10,20,25) -> optimal
+        ((A1 (A2 A3)) ((A4 A5) A6))."""
+        schedule = optimal_chain_order([30, 35, 15, 5, 10, 20, 25])
+        # 5 multiplications for 6 matrices.
+        assert len(schedule) == 5
+        # First emitted step (post-order) is A2 x A3.
+        assert schedule[0] == (1, 2)
+
+    def test_schedule_is_executable(self):
+        rng = np.random.default_rng(0)
+        dims = [4, 7, 2, 9, 3]
+        matrices = [
+            rng.random((dims[i], dims[i + 1]))
+            for i in range(len(dims) - 1)
+        ]
+        expected = matrices[0] @ matrices[1] @ matrices[2] @ matrices[3]
+        working = list(matrices)
+        for left, right in optimal_chain_order(dims):
+            working[left] = working[left] @ working[right]
+            working.pop(right)
+        assert len(working) == 1
+        np.testing.assert_allclose(working[0], expected, atol=1e-10)
+
+    def test_skewed_dims_prefer_small_middle(self):
+        """(100x100)(100x2)(2x100): multiplying the right pair first
+        costs 100*2*100 + 100*100*100; left-first costs 100*100*2 +
+        100*2*100 -- the DP must pick left-first."""
+        schedule = optimal_chain_order([100, 100, 2, 100])
+        assert schedule[0] == (0, 1)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(QueryError):
+            optimal_chain_order([5])
+
+
+class TestReachProbChain:
+    @pytest.mark.parametrize("spec", ["AP", "APC", "APAPC"])
+    def test_equals_left_to_right(self, fig4, spec):
+        path = fig4.schema.path(spec)
+        chain = reach_prob_chain(fig4, path).toarray()
+        direct = reachable_probability_matrix(fig4, path).toarray()
+        np.testing.assert_allclose(chain, direct, atol=1e-12)
+
+    @pytest.mark.parametrize("spec", ["APVC", "APVCVPA", "CVPAPA"])
+    def test_equals_on_acm(self, acm, spec):
+        graph = acm.graph
+        path = graph.schema.path(spec)
+        chain = reach_prob_chain(graph, path).toarray()
+        direct = reachable_probability_matrix(graph, path).toarray()
+        np.testing.assert_allclose(chain, direct, atol=1e-10)

@@ -1,0 +1,209 @@
+"""Unit tests for the high-level HeteSimEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.hetesim import hetesim_matrix, hetesim_pair
+from repro.hin.errors import QueryError
+
+
+class TestRelevance:
+    def test_matches_functional_layer(self, fig4_engine, fig4):
+        for spec in ("APC", "APA", "AP", "APAPC"):
+            path = fig4.schema.path(spec)
+            engine_matrix = fig4_engine.relevance_matrix(path)
+            functional = hetesim_matrix(fig4, path)
+            np.testing.assert_allclose(engine_matrix, functional, atol=1e-12)
+
+    def test_pair_query(self, fig4_engine):
+        assert fig4_engine.relevance(
+            "Tom", "KDD", "APC", normalized=False
+        ) == pytest.approx(0.5)
+        assert fig4_engine.relevance("Tom", "KDD", "APC") == pytest.approx(1.0)
+
+    def test_accepts_path_specs(self, fig4_engine, fig4):
+        by_string = fig4_engine.relevance("Tom", "KDD", "APC")
+        by_object = fig4_engine.relevance(
+            "Tom", "KDD", fig4.schema.path("APC")
+        )
+        by_names = fig4_engine.relevance(
+            "Tom", "KDD", ["author", "paper", "conference"]
+        )
+        assert by_string == by_object == by_names
+
+    def test_vector_matches_matrix_row(self, fig4_engine):
+        matrix = fig4_engine.relevance_matrix("APC")
+        vector = fig4_engine.relevance_vector("Tom", "APC")
+        np.testing.assert_allclose(vector, matrix[0], atol=1e-12)
+
+    def test_unknown_object_rejected(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.relevance("ghost", "KDD", "APC")
+
+    def test_raw_mode(self, fig4_engine):
+        raw = fig4_engine.relevance_matrix("APC", normalized=False)
+        assert raw.max() <= 1.0 + 1e-12
+        tom_kdd = raw[0, 0]
+        assert tom_kdd == pytest.approx(0.5)
+
+
+class TestCaching:
+    def test_halves_cached_per_path(self, fig4_engine):
+        path = fig4_engine.path("APC")
+        first = fig4_engine.halves(path)
+        second = fig4_engine.halves(path)
+        assert first[0] is second[0]
+
+    def test_shared_prefixes_across_paths(self, fig4_engine):
+        fig4_engine.relevance_matrix("APAPC")
+        # The underlying PM cache holds prefixes reused by shorter paths.
+        assert fig4_engine.cache.num_cached > 0
+
+    def test_clear_cache(self, fig4_engine):
+        fig4_engine.relevance_matrix("APC")
+        fig4_engine.clear_cache()
+        assert fig4_engine.cache.num_cached == 0
+
+    def test_results_unchanged_after_cache_warm(self, fig4_engine):
+        cold = fig4_engine.relevance_matrix("APAPC")
+        warm = fig4_engine.relevance_matrix("APAPC")
+        np.testing.assert_array_equal(cold, warm)
+
+
+class TestRanking:
+    def test_rank_order_descending(self, fig4_engine):
+        ranking = fig4_engine.rank("Tom", "APC")
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_prefix_of_rank(self, fig4_engine):
+        assert fig4_engine.top_k("Tom", "APC", k=1) == fig4_engine.rank(
+            "Tom", "APC"
+        )[:1]
+
+    def test_top_k_invalid_k(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.top_k("Tom", "APC", k=0)
+
+    def test_deterministic_tie_break(self, fig4_engine):
+        first = fig4_engine.rank("Tom", "APC")
+        second = fig4_engine.rank("Tom", "APC")
+        assert first == second
+
+    def test_tom_top_conference_is_kdd(self, fig4_engine):
+        assert fig4_engine.top_k("Tom", "APC", k=1)[0][0] == "KDD"
+
+
+class TestProfile:
+    def test_profile_shape(self, fig4_engine):
+        profile = fig4_engine.profile(
+            "Tom",
+            {"conferences": "APC", "co-authors": "APA"},
+            k=2,
+        )
+        assert set(profile) == {"conferences", "co-authors"}
+        assert len(profile["conferences"]) == 2
+
+    def test_profile_self_first_on_symmetric_path(self, fig4_engine):
+        profile = fig4_engine.profile("Tom", {"coauthors": "APA"}, k=3)
+        assert profile["coauthors"][0][0] == "Tom"
+        assert profile["coauthors"][0][1] == pytest.approx(1.0)
+
+
+class TestRelevanceSubmatrix:
+    def test_rows_match_full_matrix(self, fig4_engine, fig4):
+        full = fig4_engine.relevance_matrix("APC")
+        sub = fig4_engine.relevance_submatrix(["Mary", "Tom"], "APC")
+        mary = fig4.node_index("author", "Mary")
+        tom = fig4.node_index("author", "Tom")
+        np.testing.assert_allclose(sub[0], full[mary], atol=1e-12)
+        np.testing.assert_allclose(sub[1], full[tom], atol=1e-12)
+
+    def test_raw_mode(self, fig4_engine, fig4):
+        full = fig4_engine.relevance_matrix("APC", normalized=False)
+        sub = fig4_engine.relevance_submatrix(
+            ["Tom"], "APC", normalized=False
+        )
+        tom = fig4.node_index("author", "Tom")
+        np.testing.assert_allclose(sub[0], full[tom], atol=1e-12)
+
+    def test_empty_subset_rejected(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.relevance_submatrix([], "APC")
+
+    def test_unknown_source_rejected(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.relevance_submatrix(["ghost"], "APC")
+
+    def test_duplicate_sources_allowed(self, fig4_engine):
+        sub = fig4_engine.relevance_submatrix(["Tom", "Tom"], "APC")
+        np.testing.assert_allclose(sub[0], sub[1])
+
+
+class TestMutationSafety:
+    def test_mutation_invalidates_caches(self, fig4):
+        engine = HeteSimEngine(fig4)
+        before = engine.relevance("Tom", "SIGMOD", "APC")
+        assert before == 0.0
+        # Tom publishes in SIGMOD: scores must change on the next query.
+        fig4.add_edge("writes", "Tom", "p3")
+        after = engine.relevance("Tom", "SIGMOD", "APC")
+        assert after > 0.0
+
+    def test_symmetric_path_shares_half_matrix(self, fig4_engine):
+        path = fig4_engine.path("APA")
+        left, right, _, _ = fig4_engine.halves(path)
+        assert left is right
+
+    def test_version_counter_visible(self, fig4):
+        engine = HeteSimEngine(fig4)
+        engine.relevance_matrix("APC")
+        cached = engine.cache.num_cached
+        assert cached > 0
+        fig4.add_node("author", "newcomer")
+        engine.relevance_matrix("APC")  # triggers rebuild
+        assert engine.graph.version == fig4.version
+
+    def test_unrelated_relation_mutation_keeps_halves(self, fig4):
+        """Selective invalidation: adding an affiliation-style edge to a
+        relation outside the path must not discard its half matrices."""
+        engine = HeteSimEngine(fig4)
+        path = engine.path("PC")  # only published_in
+        before = engine.halves(path)
+        # Mutate writes with existing endpoints: published_in untouched.
+        fig4.add_edge("writes", "Tom", "p3")
+        after = engine.halves(path)
+        assert before[0] is after[0]
+
+    def test_touched_relation_mutation_refreshes_halves(self, fig4):
+        engine = HeteSimEngine(fig4)
+        path = engine.path("APC")
+        before = engine.halves(path)
+        fig4.add_edge("writes", "Tom", "p3")
+        after = engine.halves(path)
+        assert before[0] is not after[0]
+
+
+class TestRelevancePairs:
+    def test_matches_individual_queries(self, fig4_engine):
+        pairs = [("Tom", "KDD"), ("Mary", "SIGMOD"), ("Jim", "KDD")]
+        batched = fig4_engine.relevance_pairs(pairs, "APC")
+        individual = [
+            fig4_engine.relevance(s, t, "APC") for s, t in pairs
+        ]
+        assert batched == pytest.approx(individual)
+
+    def test_raw_mode(self, fig4_engine):
+        scores = fig4_engine.relevance_pairs(
+            [("Tom", "KDD")], "APC", normalized=False
+        )
+        assert scores == [pytest.approx(0.5)]
+
+    def test_empty_rejected(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.relevance_pairs([], "APC")
+
+    def test_unknown_pair_rejected(self, fig4_engine):
+        with pytest.raises(QueryError):
+            fig4_engine.relevance_pairs([("ghost", "KDD")], "APC")

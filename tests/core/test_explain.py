@@ -1,0 +1,106 @@
+"""Unit tests for relevance explanations."""
+
+import pytest
+
+from repro.core.explain import explain_relevance
+from repro.core.hetesim import hetesim_pair
+from repro.hin.errors import QueryError
+
+
+class TestEvenPathExplanations:
+    def test_shared_paper_explains_mary_kdd(self, fig4):
+        path = fig4.schema.path("APC")
+        contributions = explain_relevance(fig4, path, "Mary", "KDD")
+        assert contributions[0].middle == "p2"
+        assert contributions[0].share == pytest.approx(1.0)
+
+    def test_tom_kdd_splits_between_two_papers(self, fig4):
+        path = fig4.schema.path("APC")
+        contributions = explain_relevance(fig4, path, "Tom", "KDD")
+        middles = {c.middle for c in contributions}
+        assert middles == {"p1", "p2"}
+        for contribution in contributions:
+            assert contribution.share == pytest.approx(0.5)
+
+    def test_contributions_sum_to_raw_score(self, fig4):
+        path = fig4.schema.path("APC")
+        raw = hetesim_pair(fig4, path, "Tom", "KDD", normalized=False)
+        contributions = explain_relevance(fig4, path, "Tom", "KDD", k=10)
+        assert sum(c.contribution for c in contributions) == pytest.approx(raw)
+
+    def test_shares_sum_to_one(self, fig4):
+        path = fig4.schema.path("APAPC")
+        contributions = explain_relevance(
+            fig4, path, "Tom", "SIGMOD", k=100
+        )
+        assert sum(c.share for c in contributions) == pytest.approx(1.0)
+
+    def test_descending_contribution_order(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVCVPA")
+        hub = acm.personas["hub_author"]
+        contributions = explain_relevance(
+            graph, path, hub, "peer-author-1", k=10
+        )
+        values = [c.contribution for c in contributions]
+        assert values == sorted(values, reverse=True)
+
+    def test_conference_middle_explains_peer_similarity(self, acm):
+        """Under APVCVPA the middle type is conference: the explanation
+        for hub ~ peer must be dominated by KDD."""
+        graph = acm.graph
+        path = graph.schema.path("APVCVPA")
+        hub = acm.personas["hub_author"]
+        contributions = explain_relevance(
+            graph, path, hub, "peer-author-1", k=1
+        )
+        assert contributions[0].middle == "KDD"
+
+
+class TestOddPathExplanations:
+    def test_edge_objects_reported_as_pairs(self, fig5):
+        path = fig5.schema.path("AB")
+        contributions = explain_relevance(fig5, path, "a2", "b3")
+        assert contributions[0].middle == ("a2", "b3")
+        assert contributions[0].share == pytest.approx(1.0)
+
+    def test_odd_acm_path(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        contributions = explain_relevance(graph, path, hub, "KDD", k=3)
+        # Middle objects are (paper, venue) publication instances; the
+        # venues must belong to KDD.
+        for contribution in contributions:
+            paper, venue = contribution.middle
+            assert venue.startswith("KDD")
+
+
+class TestEdgeCases:
+    def test_unrelated_pair_empty(self, fig4):
+        path = fig4.schema.path("APC")
+        assert explain_relevance(fig4, path, "Tom", "SIGMOD") == []
+
+    def test_k_truncates(self, fig4):
+        path = fig4.schema.path("APC")
+        assert len(explain_relevance(fig4, path, "Tom", "KDD", k=1)) == 1
+
+    def test_bad_k(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            explain_relevance(fig4, path, "Tom", "KDD", k=0)
+
+    def test_unknown_nodes(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            explain_relevance(fig4, path, "ghost", "KDD")
+        with pytest.raises(QueryError):
+            explain_relevance(fig4, path, "Tom", "ghost")
+
+    def test_forward_backward_probabilities_consistent(self, fig4):
+        path = fig4.schema.path("APC")
+        for contribution in explain_relevance(fig4, path, "Mary", "KDD"):
+            assert contribution.contribution == pytest.approx(
+                contribution.forward_probability
+                * contribution.backward_probability
+            )

@@ -1,0 +1,96 @@
+"""HeteSim on the paper's worked examples (Example 2, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hetesim import hetesim_matrix, hetesim_pair
+from repro.hin.errors import QueryError
+
+
+class TestExample2:
+    """Example 2: HeteSim(Tom, KDD | APC) = 0.5 (raw)."""
+
+    def test_raw_value(self, fig4):
+        path = fig4.schema.path("APC")
+        assert hetesim_pair(
+            fig4, path, "Tom", "KDD", normalized=False
+        ) == pytest.approx(0.5)
+
+    def test_normalized_value_is_one(self, fig4):
+        # Tom's forward distribution and KDD's backward distribution are
+        # both uniform over {p1, p2}; their cosine is 1.
+        path = fig4.schema.path("APC")
+        assert hetesim_pair(fig4, path, "Tom", "KDD") == pytest.approx(1.0)
+
+    def test_tom_unrelated_to_sigmod_via_apc(self, fig4):
+        path = fig4.schema.path("APC")
+        assert hetesim_pair(fig4, path, "Tom", "SIGMOD") == 0.0
+
+    def test_tom_related_to_sigmod_via_coauthors(self, fig4):
+        """Section 4.2: Tom relates to SIGMOD along APAPC (his co-author
+        Mary publishes there), but not along APC."""
+        path = fig4.schema.path("APAPC")
+        assert hetesim_pair(fig4, path, "Tom", "SIGMOD") > 0.0
+
+    def test_jim_most_relevant_to_sigmod(self, fig4):
+        path = fig4.schema.path("APC")
+        jim = hetesim_pair(fig4, path, "Jim", "SIGMOD")
+        mary = hetesim_pair(fig4, path, "Mary", "SIGMOD")
+        tom = hetesim_pair(fig4, path, "Tom", "SIGMOD")
+        assert jim > mary > tom
+
+
+class TestFig5:
+    """Fig. 5(c): raw HeteSim values of the bipartite example."""
+
+    def test_raw_matrix_matches_paper(self, fig5):
+        path = fig5.schema.path("AB")
+        raw = hetesim_matrix(fig5, path, normalized=False)
+        expected = np.array(
+            [
+                [1 / 2, 1 / 4, 0.0, 0.0],
+                [0.0, 1 / 6, 1 / 3, 1 / 6],
+                [0.0, 0.0, 0.0, 1 / 2],
+            ]
+        )
+        np.testing.assert_allclose(raw, expected)
+
+    def test_a2_closest_to_b3(self, fig5):
+        """a2 links b2, b3, b4 equally, but b3 links only a2 -- so b3 is
+        the most related (the paper's mutual-influence argument)."""
+        path = fig5.schema.path("AB")
+        raw = hetesim_matrix(fig5, path, normalized=False)
+        a2 = fig5.node_index("a", "a2")
+        b_scores = raw[a2]
+        b3 = fig5.node_index("b", "b3")
+        assert b_scores.argmax() == b3
+
+    def test_normalized_in_unit_interval(self, fig5):
+        path = fig5.schema.path("AB")
+        normalized = hetesim_matrix(fig5, path)
+        assert (normalized >= 0).all() and (normalized <= 1 + 1e-12).all()
+
+    def test_normalization_preserves_order(self, fig5):
+        """Fig. 5(d): normalisation rescales but keeps each row's ranking."""
+        path = fig5.schema.path("AB")
+        raw = hetesim_matrix(fig5, path, normalized=False)
+        normalized = hetesim_matrix(fig5, path)
+        for row in range(raw.shape[0]):
+            assert list(np.argsort(raw[row])) == list(np.argsort(normalized[row]))
+
+
+class TestValidation:
+    def test_unknown_source_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            hetesim_pair(fig4, path, "Nobody", "KDD")
+
+    def test_unknown_target_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            hetesim_pair(fig4, path, "Tom", "NIPS")
+
+    def test_wrong_typed_key_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            hetesim_pair(fig4, path, "KDD", "Tom")

@@ -1,0 +1,98 @@
+"""Unit tests for the weighted multi-path measure."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.multipath import MultiPathHeteSim
+from repro.hin.errors import PathError, QueryError
+
+
+@pytest.fixture()
+def engine(fig4):
+    return HeteSimEngine(fig4)
+
+
+class TestConstruction:
+    def test_weights_normalised(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 2.0, "APAPC": 2.0})
+        assert multi.weights == {"APC": 0.5, "APAPC": 0.5}
+
+    def test_endpoint_types_exposed(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 1.0})
+        assert multi.source_type == "author"
+        assert multi.target_type == "conference"
+
+    def test_empty_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MultiPathHeteSim(engine, {})
+
+    def test_negative_weight_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MultiPathHeteSim(engine, {"APC": -1.0})
+
+    def test_all_zero_weights_rejected(self, engine):
+        with pytest.raises(QueryError):
+            MultiPathHeteSim(engine, {"APC": 0.0, "APAPC": 0.0})
+
+    def test_mismatched_endpoints_rejected(self, engine):
+        with pytest.raises(PathError):
+            MultiPathHeteSim(engine, {"APC": 1.0, "APA": 1.0})
+
+
+class TestMeasure:
+    def test_single_path_equals_plain_hetesim(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 3.0})
+        assert multi.relevance("Tom", "KDD") == pytest.approx(
+            engine.relevance("Tom", "KDD", "APC")
+        )
+
+    def test_combination_is_weighted_average(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 0.25, "APAPC": 0.75})
+        expected = 0.25 * engine.relevance(
+            "Tom", "SIGMOD", "APC"
+        ) + 0.75 * engine.relevance("Tom", "SIGMOD", "APAPC")
+        assert multi.relevance("Tom", "SIGMOD") == pytest.approx(expected)
+
+    def test_matrix_matches_pairs(self, engine, fig4):
+        multi = MultiPathHeteSim(engine, {"APC": 0.5, "APAPC": 0.5})
+        matrix = multi.relevance_matrix()
+        for i, author in enumerate(fig4.node_keys("author")):
+            for j, conference in enumerate(fig4.node_keys("conference")):
+                assert matrix[i, j] == pytest.approx(
+                    multi.relevance(author, conference), abs=1e-12
+                )
+
+    def test_vector_matches_matrix_row(self, engine, fig4):
+        multi = MultiPathHeteSim(engine, {"APC": 0.5, "APAPC": 0.5})
+        matrix = multi.relevance_matrix()
+        tom = fig4.node_index("author", "Tom")
+        np.testing.assert_allclose(
+            multi.relevance_vector("Tom"), matrix[tom], atol=1e-12
+        )
+
+    def test_scores_stay_in_unit_interval(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 1.0, "APAPC": 2.0})
+        matrix = multi.relevance_matrix()
+        assert (matrix >= -1e-12).all() and (matrix <= 1 + 1e-9).all()
+
+    def test_combination_blends_semantics(self, engine):
+        """APC alone says Tom-SIGMOD = 0; adding the co-author path makes
+        the combined score positive but below Tom-KDD."""
+        multi = MultiPathHeteSim(engine, {"APC": 0.5, "APAPC": 0.5})
+        sigmod = multi.relevance("Tom", "SIGMOD")
+        kdd = multi.relevance("Tom", "KDD")
+        assert 0 < sigmod < kdd
+
+
+class TestTopK:
+    def test_ranking(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 0.5, "APAPC": 0.5})
+        ranking = multi.top_k("Tom", k=2)
+        assert ranking[0][0] == "KDD"
+        assert ranking[0][1] > ranking[1][1] > 0
+
+    def test_bad_k(self, engine):
+        multi = MultiPathHeteSim(engine, {"APC": 1.0})
+        with pytest.raises(QueryError):
+            multi.top_k("Tom", k=0)

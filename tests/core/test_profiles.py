@@ -1,0 +1,91 @@
+"""Unit tests for automatic object profiling."""
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.profiles import build_profile
+from repro.hin.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def acm_profile(acm):
+    engine = HeteSimEngine(acm.graph)
+    return build_profile(
+        engine, "author", acm.personas["hub_author"], k=3
+    )
+
+
+class TestBuildProfile:
+    def test_covers_reachable_types(self, acm_profile):
+        types = {section.target_type for section in acm_profile.sections}
+        assert {"paper", "venue", "conference", "term", "subject",
+                "affiliation"} <= types
+
+    def test_shortest_paths_chosen(self, acm_profile):
+        assert acm_profile.section("paper").path.code() == "AP"
+        assert acm_profile.section("conference").path.code() == "APVC"
+        assert acm_profile.section("term").path.code() == "APT"
+
+    def test_rankings_match_engine(self, acm, acm_profile):
+        engine = HeteSimEngine(acm.graph)
+        hub = acm.personas["hub_author"]
+        section = acm_profile.section("conference")
+        assert section.ranking == engine.top_k(hub, "APVC", k=3)
+
+    def test_home_conference_first(self, acm_profile):
+        assert acm_profile.section("conference").ranking[0][0] == "KDD"
+
+    def test_target_type_restriction(self, acm):
+        engine = HeteSimEngine(acm.graph)
+        profile = build_profile(
+            engine, "author", acm.personas["hub_author"], k=2,
+            target_types=["conference"],
+        )
+        assert [s.target_type for s in profile.sections] == ["conference"]
+
+    def test_unreachable_types_omitted(self):
+        from repro.hin.graph import HeteroGraph
+        from repro.hin.schema import NetworkSchema
+
+        schema = NetworkSchema.from_spec(
+            [("a", "A"), ("b", "B"), ("c", "C")],
+            [("r", "a", "b")],  # c unreachable from a
+        )
+        graph = HeteroGraph(schema)
+        graph.add_edge("r", "a1", "b1")
+        graph.add_node("c", "c1")
+        engine = HeteSimEngine(graph)
+        profile = build_profile(engine, "a", "a1", k=1)
+        assert [s.target_type for s in profile.sections] == ["b"]
+
+    def test_text_rendering(self, acm_profile):
+        text = acm_profile.to_text()
+        assert "Profile of author 'KDD-star':" in text
+        assert "conference (path APVC):" in text
+        assert "1. KDD" in text
+
+    def test_missing_section_raises(self, acm_profile):
+        with pytest.raises(QueryError):
+            acm_profile.section("ghost")
+
+    def test_unknown_object_rejected(self, acm):
+        engine = HeteSimEngine(acm.graph)
+        with pytest.raises(QueryError):
+            build_profile(engine, "author", "ghost")
+
+    def test_bad_k_rejected(self, acm):
+        engine = HeteSimEngine(acm.graph)
+        with pytest.raises(QueryError):
+            build_profile(engine, "author", "KDD-star", k=0)
+
+    def test_profile_of_conference(self, acm):
+        """The Table 2 direction: profiling a conference."""
+        engine = HeteSimEngine(acm.graph)
+        profile = build_profile(
+            engine, "conference", "KDD", k=3,
+            target_types=["author", "subject"],
+        )
+        authors = [k for k, _ in profile.section("author").ranking]
+        assert authors[0] == "KDD-star"
+        subjects = [k for k, _ in profile.section("subject").ranking]
+        assert subjects[0].startswith("H.2")

@@ -1,0 +1,107 @@
+"""Unit tests for pruned top-k search (Section 4.6, item 3)."""
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.pruning import pruned_top_k
+from repro.hin.errors import QueryError
+
+
+class TestExactMode:
+    def test_matches_engine_ranking(self, acm):
+        graph = acm.graph
+        engine = HeteSimEngine(graph)
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        pruned = pruned_top_k(graph, path, hub, k=5)
+        exact = engine.top_k(hub, path, k=5)
+        assert pruned.is_exact
+        assert [k for k, _ in pruned.ranking] == [k for k, _ in exact]
+        for (_, a), (_, b) in zip(pruned.ranking, exact):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_reports_pruning_statistics(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        young = acm.personas["young_sigir"]
+        result = pruned_top_k(graph, path, young, k=5)
+        assert result.candidates_total == graph.num_nodes("conference")
+        assert 0 < result.candidates_scored <= result.candidates_total
+        assert 0 <= result.pruning_ratio < 1
+
+    def test_prunes_most_candidates_for_focused_author(self, acm):
+        """A one-conference author overlaps few conferences: most targets
+        are never scored -- the paper's 'very small percentage' claim."""
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        young = acm.personas["young_sigcomm"]
+        result = pruned_top_k(graph, path, young, k=3)
+        assert result.pruning_ratio > 0.5
+
+    def test_raw_mode(self, fig4):
+        path = fig4.schema.path("APC")
+        result = pruned_top_k(fig4, path, "Tom", k=1, normalized=False)
+        assert result.ranking[0] == ("KDD", pytest.approx(0.5))
+
+
+class TestMassPruning:
+    def test_tolerance_bounds_dropped_mass(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        result = pruned_top_k(graph, path, hub, k=5, mass_tolerance=0.05)
+        assert 0 < result.dropped_mass < 0.05
+        assert not result.is_exact
+
+    def test_top1_stable_under_small_threshold(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        exact = pruned_top_k(graph, path, hub, k=1)
+        approx = pruned_top_k(graph, path, hub, k=1, mass_tolerance=0.01)
+        assert approx.ranking[0][0] == exact.ranking[0][0]
+
+    def test_scores_stay_in_unit_interval(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        result = pruned_top_k(graph, path, hub, k=14, mass_tolerance=0.05)
+        for _, score in result.ranking:
+            assert -1e-12 <= score <= 1 + 1e-9
+
+    def test_raw_error_bounded_by_dropped_mass(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        exact = dict(
+            pruned_top_k(graph, path, hub, k=14, normalized=False).ranking
+        )
+        approx = pruned_top_k(
+            graph, path, hub, k=14, normalized=False, mass_tolerance=0.03
+        )
+        for key, score in approx.ranking:
+            assert abs(score - exact[key]) <= approx.dropped_mass + 1e-12
+
+
+class TestValidation:
+    def test_bad_k(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            pruned_top_k(fig4, path, "Tom", k=0)
+
+    def test_negative_tolerance(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            pruned_top_k(fig4, path, "Tom", mass_tolerance=-0.1)
+
+    def test_unknown_source(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            pruned_top_k(fig4, path, "ghost")
+
+    def test_dangling_source(self, fig4):
+        fig4.add_node("author", "lurker")
+        path = fig4.schema.path("APC")
+        result = pruned_top_k(fig4, path, "lurker", k=2)
+        assert result.candidates_scored == 0
+        assert all(score == 0.0 for _, score in result.ranking)

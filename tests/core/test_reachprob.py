@@ -1,0 +1,66 @@
+"""Unit tests for reachable-probability helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import PathMatrixCache
+from repro.core.reachprob import reach_distribution, reach_prob, reach_row
+from repro.hin.errors import QueryError
+from repro.hin.matrices import reachable_probability_matrix
+
+
+class TestReachProb:
+    def test_matches_direct(self, fig4):
+        path = fig4.schema.path("APC")
+        np.testing.assert_allclose(
+            reach_prob(fig4, path).toarray(),
+            reachable_probability_matrix(fig4, path).toarray(),
+        )
+
+    def test_uses_cache_when_given(self, fig4):
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        reach_prob(fig4, path, cache=cache)
+        assert cache.misses == 1
+        reach_prob(fig4, path, cache=cache)
+        assert cache.hits == 1
+
+
+class TestReachRow:
+    def test_matches_matrix_row(self, fig4):
+        path = fig4.schema.path("APC")
+        matrix = reachable_probability_matrix(fig4, path).toarray()
+        for i, author in enumerate(fig4.node_keys("author")):
+            np.testing.assert_allclose(
+                reach_row(fig4, path, author), matrix[i]
+            )
+
+    def test_is_probability_distribution(self, fig4):
+        path = fig4.schema.path("APC")
+        row = reach_row(fig4, path, "Tom")
+        assert row.sum() == pytest.approx(1.0)
+        assert (row >= 0).all()
+
+    def test_unknown_source(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            reach_row(fig4, path, "ghost")
+
+    def test_tom_concentrated_on_kdd(self, fig4):
+        path = fig4.schema.path("APC")
+        dist = dict(reach_distribution(fig4, path, "Tom"))
+        assert dist["KDD"] == pytest.approx(1.0)
+        assert dist["SIGMOD"] == pytest.approx(0.0)
+
+
+class TestReachDistribution:
+    def test_pairs_cover_target_type(self, fig4):
+        path = fig4.schema.path("APC")
+        pairs = reach_distribution(fig4, path, "Mary")
+        assert [k for k, _ in pairs] == fig4.node_keys("conference")
+
+    def test_mary_splits_between_conferences(self, fig4):
+        path = fig4.schema.path("APC")
+        dist = dict(reach_distribution(fig4, path, "Mary"))
+        assert dist["KDD"] == pytest.approx(0.5)
+        assert dist["SIGMOD"] == pytest.approx(0.5)

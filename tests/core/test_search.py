@@ -1,0 +1,118 @@
+"""Unit tests for ranked relevance search."""
+
+import pytest
+
+from repro.core.search import rank_targets, top_k_pairs, top_k_targets
+from repro.hin.errors import QueryError
+
+
+class TestRankTargets:
+    def test_full_ranking_covers_target_type(self, fig4):
+        path = fig4.schema.path("APC")
+        ranking = rank_targets(fig4, path, "Tom")
+        assert len(ranking) == fig4.num_nodes("conference")
+
+    def test_descending_scores(self, fig4):
+        path = fig4.schema.path("APC")
+        scores = [s for _, s in rank_targets(fig4, path, "Tom")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tom_ranks_kdd_first(self, fig4):
+        path = fig4.schema.path("APC")
+        assert rank_targets(fig4, path, "Tom")[0][0] == "KDD"
+
+    def test_raw_mode(self, fig4):
+        path = fig4.schema.path("APC")
+        ranking = rank_targets(fig4, path, "Tom", normalized=False)
+        assert ranking[0] == ("KDD", pytest.approx(0.5))
+
+
+class TestTopKTargets:
+    def test_k_limits_results(self, fig4):
+        path = fig4.schema.path("APC")
+        assert len(top_k_targets(fig4, path, "Tom", k=1)) == 1
+
+    def test_k_larger_than_type(self, fig4):
+        path = fig4.schema.path("APC")
+        results = top_k_targets(fig4, path, "Tom", k=100)
+        assert len(results) == fig4.num_nodes("conference")
+
+    def test_invalid_k(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            top_k_targets(fig4, path, "Tom", k=0)
+
+    def test_unknown_source(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            top_k_targets(fig4, path, "ghost", k=1)
+
+
+class TestTopKPairs:
+    def test_strongest_pairs_sorted(self, fig4):
+        path = fig4.schema.path("APC")
+        triples = top_k_pairs(fig4, path, k=5)
+        scores = [score for _, _, score in triples]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_contains_expected_best_pair(self, fig4):
+        path = fig4.schema.path("APC")
+        triples = top_k_pairs(fig4, path, k=3)
+        pairs = {(s, t) for s, t, _ in triples}
+        assert ("Tom", "KDD") in pairs or ("Jim", "SIGMOD") in pairs
+
+    def test_k_capped_at_matrix_size(self, fig4):
+        path = fig4.schema.path("APC")
+        total = fig4.num_nodes("author") * fig4.num_nodes("conference")
+        assert len(top_k_pairs(fig4, path, k=10_000)) == total
+
+    def test_invalid_k(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            top_k_pairs(fig4, path, k=-1)
+
+    def test_deterministic(self, fig4):
+        path = fig4.schema.path("APC")
+        assert top_k_pairs(fig4, path, k=6) == top_k_pairs(fig4, path, k=6)
+
+
+class TestTopKPairsSparse:
+    def test_matches_dense_variant(self, fig4):
+        from repro.core.search import top_k_pairs_sparse
+
+        path = fig4.schema.path("APC")
+        sparse_result = top_k_pairs_sparse(fig4, path, k=4)
+        dense_result = top_k_pairs(fig4, path, k=4)
+        assert sparse_result == dense_result
+
+    def test_matches_dense_on_acm(self, acm):
+        from repro.core.search import top_k_pairs_sparse
+
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        assert top_k_pairs_sparse(graph, path, k=10) == top_k_pairs(
+            graph, path, k=10
+        )
+
+    def test_raw_mode(self, fig4):
+        from repro.core.search import top_k_pairs_sparse
+
+        path = fig4.schema.path("APC")
+        triples = top_k_pairs_sparse(fig4, path, k=2, normalized=False)
+        assert all(score > 0 for _, _, score in triples)
+
+    def test_fewer_connected_pairs_than_k(self, fig4):
+        from repro.core.search import top_k_pairs_sparse
+
+        path = fig4.schema.path("APC")
+        triples = top_k_pairs_sparse(fig4, path, k=1000)
+        # Only connected pairs are returned (zero pairs omitted).
+        assert all(score > 0 for _, _, score in triples)
+        assert len(triples) < 1000
+
+    def test_bad_k(self, fig4):
+        from repro.core.search import top_k_pairs_sparse
+
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            top_k_pairs_sparse(fig4, path, k=0)

@@ -1,0 +1,90 @@
+"""Unit tests for the on-disk matrix store (Section 4.6, item 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import PathMatrixCache
+from repro.core.store import MatrixStore
+from repro.hin.errors import QueryError
+from repro.hin.matrices import reachable_probability_matrix
+
+
+class TestMatrixStore:
+    def test_save_and_load_roundtrip(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        loaded = store.load(path)
+        np.testing.assert_allclose(
+            loaded.toarray(),
+            reachable_probability_matrix(fig4, path).toarray(),
+        )
+
+    def test_contains(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        apc = fig4.schema.path("APC")
+        store.save(fig4, [apc])
+        assert store.contains(apc)
+        assert not store.contains(fig4.schema.path("APA"))
+
+    def test_stored_paths_listing(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [fig4.schema.path("APC"), fig4.schema.path("APA")])
+        assert len(store.stored_paths()) == 2
+
+    def test_load_missing_raises(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        with pytest.raises(QueryError):
+            store.load(fig4.schema.path("APC"))
+
+    def test_load_into_cache(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        apc = fig4.schema.path("APC")
+        apa = fig4.schema.path("APA")
+        store.save(fig4, [apc, apa])
+
+        cache = PathMatrixCache(fig4)
+        loaded = store.load_into(cache)
+        assert loaded == 2
+        assert cache.contains(apc) and cache.contains(apa)
+        # Fetching from the warmed cache is a hit, not a recomputation.
+        cache.reach_prob(apc)
+        assert cache.hits == 1
+
+    def test_loaded_matrices_answer_queries(self, fig4, tmp_path):
+        """The §4.6 workflow: persist off-line, reload, query on-line."""
+        store = MatrixStore(tmp_path)
+        apc = fig4.schema.path("APC")
+        store.save(fig4, [apc])
+
+        cache = PathMatrixCache(fig4)
+        store.load_into(cache)
+        matrix = cache.reach_prob(apc)
+        tom = fig4.node_index("author", "Tom")
+        kdd = fig4.node_index("conference", "KDD")
+        assert matrix[tom, kdd] == pytest.approx(1.0)
+
+    def test_overwrite_same_path(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        apc = fig4.schema.path("APC")
+        store.save(fig4, [apc])
+        store.save(fig4, [apc])  # idempotent overwrite
+        assert len(store.stored_paths()) == 1
+
+    def test_reuses_supplied_cache(self, fig4, tmp_path):
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        cache.reach_prob(path)
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [path], cache=cache)
+        assert cache.hits == 1  # save() fetched from the cache
+
+    def test_inverse_relation_paths_roundtrip(self, fig4, tmp_path):
+        """Paths containing inverse relation names must survive the
+        filename slug and reload through the schema."""
+        store = MatrixStore(tmp_path)
+        cpa = fig4.schema.path("CPA")  # built from inverse relations
+        store.save(fig4, [cpa])
+        cache = PathMatrixCache(fig4)
+        store.load_into(cache)
+        assert cache.contains(cpa)

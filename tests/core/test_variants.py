@@ -1,0 +1,92 @@
+"""Unit tests for the Dice-normalisation ablation variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.hetesim import hetesim_matrix
+from repro.core.variants import dice_hetesim_matrix, dice_hetesim_pair
+from repro.hin.errors import QueryError
+
+
+class TestDiceProperties:
+    def test_range(self, fig4):
+        path = fig4.schema.path("APC")
+        matrix = dice_hetesim_matrix(fig4, path)
+        assert (matrix >= -1e-12).all()
+        assert (matrix <= 1 + 1e-12).all()
+
+    def test_symmetry_property3(self, fig4):
+        for spec in ("APC", "APA", "AP"):
+            path = fig4.schema.path(spec)
+            forward = dice_hetesim_matrix(fig4, path)
+            backward = dice_hetesim_matrix(fig4, path.reverse())
+            np.testing.assert_allclose(forward, backward.T, atol=1e-12)
+
+    def test_self_maximum_on_symmetric_path(self, fig4):
+        path = fig4.schema.path("APA")
+        matrix = dice_hetesim_matrix(fig4, path)
+        diagonal = np.diag(matrix)
+        assert ((np.isclose(diagonal, 1.0)) | (diagonal == 0.0)).all()
+
+    def test_one_iff_identical_distributions(self, fig4):
+        """Tom and KDD share the identical uniform distribution over
+        {p1, p2}: Dice must be exactly 1 -- same condition as cosine."""
+        path = fig4.schema.path("APC")
+        assert dice_hetesim_pair(fig4, path, "Tom", "KDD") == pytest.approx(
+            1.0
+        )
+
+    def test_dice_at_most_cosine(self, fig4):
+        """AM >= GM: the Dice denominator dominates the cosine one, so
+        Dice <= cosine everywhere."""
+        for spec in ("APC", "APA", "APAPC"):
+            path = fig4.schema.path(spec)
+            dice = dice_hetesim_matrix(fig4, path)
+            cosine = hetesim_matrix(fig4, path)
+            assert (dice <= cosine + 1e-12).all()
+
+    def test_dice_penalises_size_mismatch(self, acm):
+        """A focused author vs a broad conference distribution: Dice
+        drops below cosine strictly when the masses differ."""
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        dice = dice_hetesim_pair(graph, path, hub, "KDD")
+        from repro.core.hetesim import hetesim_pair
+
+        cosine = hetesim_pair(graph, path, hub, "KDD")
+        assert 0 < dice < cosine
+
+
+class TestDicePlumbing:
+    def test_pair_matches_matrix(self, fig4):
+        path = fig4.schema.path("APC")
+        matrix = dice_hetesim_matrix(fig4, path)
+        for i, author in enumerate(fig4.node_keys("author")):
+            for j, conference in enumerate(fig4.node_keys("conference")):
+                assert dice_hetesim_pair(
+                    fig4, path, author, conference
+                ) == pytest.approx(matrix[i, j], abs=1e-12)
+
+    def test_dangling_objects_score_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        path = fig4.schema.path("APC")
+        matrix = dice_hetesim_matrix(fig4, path)
+        lurker = fig4.node_index("author", "lurker")
+        np.testing.assert_array_equal(matrix[lurker], 0.0)
+        assert dice_hetesim_pair(fig4, path, "lurker", "KDD") == 0.0
+
+    def test_unknown_keys_rejected(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            dice_hetesim_pair(fig4, path, "ghost", "KDD")
+
+    def test_rankings_broadly_agree_with_cosine(self, acm):
+        """The variants rank the hub's top conference identically."""
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        dice = dice_hetesim_matrix(graph, path)
+        hub_index = graph.node_index("author", hub)
+        kdd_index = graph.node_index("conference", "KDD")
+        assert dice[hub_index].argmax() == kdd_index

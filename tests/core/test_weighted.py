@@ -1,0 +1,135 @@
+"""Weighted-graph behaviour of HeteSim.
+
+The paper's definitions are stated on unweighted instance counts; the
+implementation generalises through weighted transition probabilities and
+Property 1's ``sqrt(w)`` edge-object construction.  These tests pin the
+semantics of that generalisation:
+
+* **global scale invariance**: multiplying every edge weight by a
+  constant changes nothing (normalisation absorbs it) -- weights encode
+  *relative* instance multiplicity;
+* **multiplicity equivalence**: an integer weight behaves exactly like
+  that many parallel unit edges;
+* **monotone sensitivity**: shifting weight toward an edge shifts
+  relatedness toward its endpoint.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hetesim import hetesim_matrix, hetesim_pair
+from repro.datasets.schemas import bipartite_schema, toy_apc_schema
+from repro.hin.graph import HeteroGraph
+
+
+def weighted_apc(weights):
+    """Author-paper-conference graph with parametrised writes weights."""
+    graph = HeteroGraph(toy_apc_schema())
+    for (author, paper), weight in weights.items():
+        graph.add_edge("writes", author, paper, weight=weight)
+    graph.add_edge("published_in", "p1", "KDD")
+    graph.add_edge("published_in", "p2", "KDD")
+    graph.add_edge("published_in", "p3", "SIGMOD")
+    return graph
+
+
+BASE_WEIGHTS = {
+    ("Tom", "p1"): 1.0,
+    ("Tom", "p2"): 2.0,
+    ("Tom", "p3"): 1.0,
+    ("Mary", "p2"): 1.0,
+    ("Mary", "p3"): 3.0,
+}
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("factor", [0.5, 2.0, 10.0])
+    def test_global_scaling_is_a_no_op(self, factor):
+        base = weighted_apc(BASE_WEIGHTS)
+        scaled = weighted_apc(
+            {pair: factor * w for pair, w in BASE_WEIGHTS.items()}
+        )
+        for spec in ("APC", "APA", "AP"):
+            np.testing.assert_allclose(
+                hetesim_matrix(base, base.schema.path(spec)),
+                hetesim_matrix(scaled, scaled.schema.path(spec)),
+                atol=1e-12,
+            )
+
+    @given(st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance_property(self, factor):
+        base = weighted_apc(BASE_WEIGHTS)
+        scaled = weighted_apc(
+            {pair: factor * w for pair, w in BASE_WEIGHTS.items()}
+        )
+        path = base.schema.path("APC")
+        np.testing.assert_allclose(
+            hetesim_matrix(base, path),
+            hetesim_matrix(scaled, scaled.schema.path("APC")),
+            atol=1e-9,
+        )
+
+
+class TestMultiplicityEquivalence:
+    def test_integer_weight_equals_parallel_edges(self):
+        weighted = HeteroGraph(bipartite_schema())
+        weighted.add_edge("r", "a1", "b1", weight=3.0)
+        weighted.add_edge("r", "a1", "b2", weight=1.0)
+
+        parallel = HeteroGraph(bipartite_schema())
+        for _ in range(3):
+            parallel.add_edge("r", "a1", "b1")
+        parallel.add_edge("r", "a1", "b2")
+
+        path = weighted.schema.path("AB")
+        for target in ("b1", "b2"):
+            assert hetesim_pair(
+                weighted, path, "a1", target
+            ) == pytest.approx(
+                hetesim_pair(parallel, parallel.schema.path("AB"), "a1", target),
+                abs=1e-12,
+            )
+
+    def test_apc_multiplicity_equivalence(self):
+        weighted = weighted_apc({("Tom", "p1"): 2.0, ("Tom", "p3"): 1.0})
+        parallel = weighted_apc({("Tom", "p3"): 1.0})
+        parallel.add_edge("writes", "Tom", "p1")
+        parallel.add_edge("writes", "Tom", "p1")
+        assert hetesim_pair(
+            weighted, weighted.schema.path("APC"), "Tom", "KDD"
+        ) == pytest.approx(
+            hetesim_pair(
+                parallel, parallel.schema.path("APC"), "Tom", "KDD"
+            ),
+            abs=1e-12,
+        )
+
+
+class TestMonotoneSensitivity:
+    def test_heavier_edge_pulls_relatedness(self):
+        light = weighted_apc(dict(BASE_WEIGHTS))
+        heavy_weights = dict(BASE_WEIGHTS)
+        heavy_weights[("Tom", "p3")] = 10.0  # p3 is in SIGMOD
+        heavy = weighted_apc(heavy_weights)
+
+        light_score = hetesim_pair(
+            light, light.schema.path("APC"), "Tom", "SIGMOD",
+            normalized=False,
+        )
+        heavy_score = hetesim_pair(
+            heavy, heavy.schema.path("APC"), "Tom", "SIGMOD",
+            normalized=False,
+        )
+        assert heavy_score > light_score
+
+    def test_weights_flow_through_odd_paths(self):
+        """The sqrt(w) edge-object construction respects weight order."""
+        graph = HeteroGraph(bipartite_schema())
+        graph.add_edge("r", "a1", "b1", weight=9.0)
+        graph.add_edge("r", "a1", "b2", weight=1.0)
+        path = graph.schema.path("AB")
+        strong = hetesim_pair(graph, path, "a1", "b1", normalized=False)
+        weak = hetesim_pair(graph, path, "a1", "b2", normalized=False)
+        assert strong > weak

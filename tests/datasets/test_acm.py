@@ -1,0 +1,210 @@
+"""Tests for the synthetic ACM-like generator and its planted structure."""
+
+import pytest
+
+from repro.datasets.acm import (
+    AREAS,
+    CONFERENCES,
+    PERSONAS,
+    make_acm_network,
+)
+
+
+class TestStructure:
+    def test_fourteen_conferences(self, acm):
+        assert len(acm.conferences) == 14
+        assert acm.graph.num_nodes("conference") == 14
+
+    def test_schema_types(self, acm):
+        names = {t.name for t in acm.graph.schema.object_types}
+        assert names == {
+            "author", "paper", "venue", "conference",
+            "term", "subject", "affiliation",
+        }
+
+    def test_each_conference_has_venues(self, acm):
+        for conf in acm.conferences:
+            venues = acm.graph.in_neighbors("belongs_to", conf)
+            assert len(venues) >= 1
+
+    def test_every_paper_has_one_venue(self, acm):
+        graph = acm.graph
+        for paper in graph.node_keys("paper"):
+            assert len(graph.out_neighbors("published_in", paper)) == 1
+
+    def test_every_paper_has_authors_terms_subject(self, acm):
+        graph = acm.graph
+        for paper in graph.node_keys("paper")[:50]:
+            assert graph.in_neighbors("writes", paper)
+            assert graph.out_neighbors("contains", paper)
+            assert graph.out_neighbors("has_subject", paper)
+
+    def test_every_author_has_affiliation(self, acm):
+        graph = acm.graph
+        for author in graph.node_keys("author"):
+            assert len(graph.out_neighbors("affiliated_with", author)) >= 1
+
+    def test_area_partition_covers_conferences(self):
+        assert set(CONFERENCES) == {
+            conf for confs in AREAS.values() for conf in confs
+        }
+        assert len(CONFERENCES) == 14
+
+
+class TestPersonas:
+    def test_all_personas_exist(self, acm):
+        for role, author in PERSONAS.items():
+            assert acm.graph.has_node("author", author), role
+
+    def test_hub_dominates_kdd(self, acm):
+        hub = acm.personas["hub_author"]
+        counts = acm.publication_counts[hub]
+        assert counts["KDD"] == max(
+            pubs.get("KDD", 0) for pubs in acm.publication_counts.values()
+        )
+
+    def test_young_authors_publish_only_at_home(self, acm):
+        for role, conf in (("young_sigir", "SIGIR"), ("young_sigcomm", "SIGCOMM")):
+            author = acm.personas[role]
+            counts = acm.publication_counts[author]
+            assert set(counts) == {conf}
+
+    def test_broad_authors_publish_widely(self, acm):
+        counts = acm.publication_counts[acm.personas["broad_author_1"]]
+        assert len(counts) >= 6
+
+    def test_peer_distribution_mimics_hub(self, acm):
+        peer = acm.publication_counts[acm.personas["peer_author_1"]]
+        assert max(peer, key=peer.get) == "KDD"
+
+
+class TestGroundTruth:
+    def test_counts_match_graph_degrees(self, acm):
+        graph = acm.graph
+        for author, counts in list(acm.publication_counts.items())[:20]:
+            assert sum(counts.values()) == len(
+                graph.out_neighbors("writes", author)
+            )
+
+    def test_ranking_sorted_by_count(self, acm):
+        ranking = acm.ground_truth_ranking("KDD", top_n=50)
+        counts = [
+            acm.publication_counts[a].get("KDD", 0) for a in ranking
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_ranking_excludes_non_publishers(self, acm):
+        ranking = acm.ground_truth_ranking("KDD")
+        for author in ranking:
+            assert acm.publication_counts[author].get("KDD", 0) > 0
+
+    def test_ranking_respects_top_n(self, acm):
+        assert len(acm.ground_truth_ranking("KDD", top_n=5)) == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        first = make_acm_network(
+            seed=3, venues_per_conference=2, papers_per_venue=5,
+            authors_per_community=5,
+        )
+        second = make_acm_network(
+            seed=3, venues_per_conference=2, papers_per_venue=5,
+            authors_per_community=5,
+        )
+        assert first.graph.num_edges() == second.graph.num_edges()
+        assert first.publication_counts == second.publication_counts
+
+    def test_different_seed_differs(self):
+        first = make_acm_network(
+            seed=1, venues_per_conference=2, papers_per_venue=5,
+            authors_per_community=5,
+        )
+        second = make_acm_network(
+            seed=2, venues_per_conference=2, papers_per_venue=5,
+            authors_per_community=5,
+        )
+        assert first.publication_counts != second.publication_counts
+
+
+class TestHomeConferenceLabels:
+    def test_every_author_labelled(self, acm):
+        assert set(acm.home_conference) == set(
+            acm.graph.node_keys("author")
+        )
+
+    def test_community_members_home_matches_name(self, acm):
+        for author in acm.graph.node_keys("author"):
+            if ".auth" in author:
+                conf = author.split(".auth")[0]
+                assert acm.home_conference[author] == conf
+
+    def test_author_area_resolves(self, acm):
+        assert acm.author_area("KDD-star") == "data"
+        assert acm.author_area("SOSP-star") == "systems"
+
+
+class TestCitations:
+    @pytest.fixture(scope="class")
+    def cited(self):
+        return make_acm_network(
+            seed=0, venues_per_conference=2, papers_per_venue=8,
+            authors_per_community=6, with_citations=True,
+        )
+
+    def test_default_has_no_citations(self, acm):
+        assert not acm.graph.schema.has_relation("cites")
+
+    def test_citation_edges_exist(self, cited):
+        assert cited.graph.num_edges("cites") > 0
+
+    def test_no_self_citations(self, cited):
+        adjacency = cited.graph.adjacency("cites")
+        assert adjacency.diagonal().sum() == 0
+
+    def test_citations_mostly_within_area(self, cited):
+        graph = cited.graph
+
+        def paper_area(paper):
+            venue = graph.out_neighbors("published_in", paper)[0][0]
+            conf = graph.out_neighbors("belongs_to", venue)[0][0]
+            return cited.area_of[conf]
+        coo = graph.adjacency("cites").tocoo()
+        same = other = 0
+        papers = graph.node_keys("paper")
+        for i, j in zip(coo.row[:400], coo.col[:400]):
+            if paper_area(papers[int(i)]) == paper_area(papers[int(j)]):
+                same += 1
+            else:
+                other += 1
+        assert same > other
+
+    def test_compact_pp_path_is_ambiguous(self, cited):
+        """'PP' could be cites or cites^-1: the parser must refuse."""
+        from repro.hin.errors import PathError
+
+        with pytest.raises(PathError):
+            cited.graph.schema.path("APPA")
+
+    def test_relation_name_path_works(self, cited):
+        path = cited.graph.schema.path(["writes", "cites", "writes^-1"])
+        assert path.source_type.name == "author"
+        assert path.target_type.name == "author"
+
+    def test_citation_relevance_symmetric(self, cited):
+        """Property 3 holds on the odd-length citation path too."""
+        from repro.core.hetesim import hetesim_matrix
+        import numpy as np
+
+        graph = cited.graph
+        path = graph.schema.path(["writes", "cites", "writes^-1"])
+        forward = hetesim_matrix(graph, path)
+        backward = hetesim_matrix(graph, path.reverse())
+        np.testing.assert_allclose(forward, backward.T, atol=1e-10)
+
+    def test_experiment_shapes_unaffected(self, cited):
+        """Adding citations must not disturb the APVC-based results."""
+        from repro.core.engine import HeteSimEngine
+
+        engine = HeteSimEngine(cited.graph)
+        assert engine.top_k("KDD-star", "APVC", k=1)[0][0] == "KDD"

@@ -1,0 +1,155 @@
+"""Tests for the four-area text-format loader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dblp import make_dblp_four_area
+from repro.datasets.loaders import load_dblp_four_area, save_dblp_four_area
+from repro.hin.errors import GraphError
+
+
+@pytest.fixture()
+def format_dir(tmp_path):
+    """A tiny hand-written four-area directory."""
+    (tmp_path / "author.txt").write_text(
+        "0\tTom\n1\tMary\n", encoding="utf-8"
+    )
+    (tmp_path / "paper.txt").write_text(
+        "10\tGraph Mining\n11\tIR Basics\n", encoding="utf-8"
+    )
+    (tmp_path / "conf.txt").write_text("20\tKDD\n", encoding="utf-8")
+    (tmp_path / "term.txt").write_text(
+        "30\tmining\n31\tgraphs\n", encoding="utf-8"
+    )
+    (tmp_path / "paper_author.txt").write_text(
+        "10\t0\n10\t1\n11\t1\n", encoding="utf-8"
+    )
+    (tmp_path / "paper_conf.txt").write_text(
+        "10\t20\n11\t20\n", encoding="utf-8"
+    )
+    (tmp_path / "paper_term.txt").write_text(
+        "10\t30\n10\t31\n11\t30\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestLoad:
+    def test_counts(self, format_dir):
+        graph = load_dblp_four_area(format_dir)
+        assert graph.num_nodes("author") == 2
+        assert graph.num_nodes("paper") == 2
+        assert graph.num_nodes("conference") == 1
+        assert graph.num_edges("writes") == 3
+
+    def test_edge_direction(self, format_dir):
+        """paper_author.txt columns are (paper, author) but the writes
+        relation runs author -> paper."""
+        graph = load_dblp_four_area(format_dir)
+        papers = dict(graph.out_neighbors("writes", "Tom"))
+        assert papers == {"Graph Mining": 1.0}
+
+    def test_names_are_keys(self, format_dir):
+        graph = load_dblp_four_area(format_dir)
+        assert graph.has_node("conference", "KDD")
+        assert graph.has_node("term", "mining")
+
+    def test_hetesim_runs_on_loaded_graph(self, format_dir):
+        from repro.core.hetesim import hetesim_pair
+
+        graph = load_dblp_four_area(format_dir)
+        path = graph.schema.path("APC")
+        assert hetesim_pair(graph, path, "Tom", "KDD") > 0
+
+    def test_missing_file_rejected(self, format_dir):
+        (format_dir / "term.txt").unlink()
+        with pytest.raises(GraphError):
+            load_dblp_four_area(format_dir)
+
+    def test_unknown_id_rejected(self, format_dir):
+        (format_dir / "paper_conf.txt").write_text(
+            "10\t99\n", encoding="utf-8"
+        )
+        with pytest.raises(GraphError) as excinfo:
+            load_dblp_four_area(format_dir)
+        assert "paper_conf.txt:1" in str(excinfo.value)
+
+    def test_malformed_line_rejected(self, format_dir):
+        (format_dir / "author.txt").write_text(
+            "0\tTom\tExtra\n", encoding="utf-8"
+        )
+        with pytest.raises(GraphError):
+            load_dblp_four_area(format_dir)
+
+    def test_duplicate_id_rejected(self, format_dir):
+        (format_dir / "author.txt").write_text(
+            "0\tTom\n0\tMary\n", encoding="utf-8"
+        )
+        with pytest.raises(GraphError):
+            load_dblp_four_area(format_dir)
+
+    def test_not_a_directory_rejected(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_dblp_four_area(tmp_path / "nope")
+
+
+class TestRoundTrip:
+    def test_synthetic_network_roundtrips(self, tmp_path):
+        original = make_dblp_four_area(
+            seed=1, authors_per_area=8, papers_per_conference=6,
+        ).graph
+        save_dblp_four_area(original, tmp_path / "export")
+        reloaded = load_dblp_four_area(tmp_path / "export")
+        assert reloaded.num_nodes() == original.num_nodes()
+        for relation in ("writes", "published_in", "contains"):
+            np.testing.assert_allclose(
+                reloaded.adjacency(relation).toarray(),
+                original.adjacency(relation).toarray(),
+            )
+
+    def test_scores_survive_roundtrip(self, tmp_path):
+        from repro.core.engine import HeteSimEngine
+
+        original = make_dblp_four_area(
+            seed=2, authors_per_area=6, papers_per_conference=5,
+        ).graph
+        save_dblp_four_area(original, tmp_path / "export")
+        reloaded = load_dblp_four_area(tmp_path / "export")
+        a = HeteSimEngine(original).relevance_matrix("CPA")
+        b = HeteSimEngine(reloaded).relevance_matrix("CPA")
+        # Node order may differ; compare via key lookup.
+        conf = original.node_keys("conference")[0]
+        author = original.node_keys("author")[0]
+        assert HeteSimEngine(original).relevance(
+            conf, author, "CPA"
+        ) == pytest.approx(
+            HeteSimEngine(reloaded).relevance(conf, author, "CPA")
+        )
+        assert a.shape == b.shape
+
+    def test_wrong_schema_rejected(self, fig5, tmp_path):
+        with pytest.raises(GraphError):
+            save_dblp_four_area(fig5, tmp_path / "bad")
+
+    def test_parallel_edges_written_per_unit(self, tmp_path):
+        from repro.hin.graph import HeteroGraph
+        from repro.datasets.schemas import dblp_schema
+
+        graph = HeteroGraph(dblp_schema())
+        graph.add_edge("writes", "Tom", "p1")
+        graph.add_edge("writes", "Tom", "p1")
+        graph.add_node("conference", "KDD")
+        graph.add_node("term", "x")
+        save_dblp_four_area(graph, tmp_path / "dup")
+        content = (tmp_path / "dup" / "paper_author.txt").read_text()
+        assert content.count("\n") == 2
+
+    def test_fractional_weight_rejected(self, tmp_path):
+        from repro.hin.graph import HeteroGraph
+        from repro.datasets.schemas import dblp_schema
+
+        graph = HeteroGraph(dblp_schema())
+        graph.add_edge("writes", "Tom", "p1", weight=0.5)
+        graph.add_node("conference", "KDD")
+        graph.add_node("term", "x")
+        with pytest.raises(GraphError):
+            save_dblp_four_area(graph, tmp_path / "frac")

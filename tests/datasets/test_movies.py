@@ -1,0 +1,68 @@
+"""Tests for the synthetic movie-network generator."""
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.movies import GENRES, make_movie_network
+
+
+@pytest.fixture(scope="module")
+def movies():
+    return make_movie_network(
+        seed=0, users_per_genre=8, movies_per_genre=6, watches_per_user=6
+    )
+
+
+class TestStructure:
+    def test_genre_count(self, movies):
+        assert movies.graph.num_nodes("genre") == len(GENRES)
+
+    def test_every_movie_has_genre_and_director(self, movies):
+        graph = movies.graph
+        for movie in graph.node_keys("movie"):
+            assert len(graph.out_neighbors("has_genre", movie)) == 1
+            assert len(graph.out_neighbors("directed_by", movie)) == 1
+
+    def test_every_user_watches(self, movies):
+        graph = movies.graph
+        for user in graph.node_keys("user"):
+            assert graph.out_neighbors("watched", user)
+
+    def test_labels_cover_all_users_and_movies(self, movies):
+        assert set(movies.user_genre) == set(movies.graph.node_keys("user"))
+        assert set(movies.movie_genre) == set(
+            movies.graph.node_keys("movie")
+        )
+
+    def test_deterministic(self):
+        kwargs = dict(seed=3, users_per_genre=4, movies_per_genre=4)
+        first = make_movie_network(**kwargs)
+        second = make_movie_network(**kwargs)
+        assert first.graph.num_edges() == second.graph.num_edges()
+
+
+class TestPlantedSignal:
+    def test_users_prefer_their_genre(self, movies):
+        """HeteSim over UMG recovers the planted taste for most users."""
+        engine = HeteSimEngine(movies.graph)
+        correct = 0
+        users = movies.graph.node_keys("user")
+        for user in users:
+            top_genre = engine.top_k(user, "UMG", k=1)[0][0]
+            if top_genre == movies.user_genre[user]:
+                correct += 1
+        assert correct / len(users) > 0.8
+
+    def test_low_fidelity_weakens_signal(self):
+        noisy = make_movie_network(
+            seed=0, users_per_genre=8, movies_per_genre=6,
+            taste_fidelity=0.25,
+        )
+        engine = HeteSimEngine(noisy.graph)
+        users = noisy.graph.node_keys("user")
+        correct = sum(
+            1
+            for user in users
+            if engine.top_k(user, "UMG", k=1)[0][0] == noisy.user_genre[user]
+        )
+        assert correct / len(users) < 0.8

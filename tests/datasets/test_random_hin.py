@@ -1,0 +1,141 @@
+"""Tests for the random-HIN generators."""
+
+import pytest
+
+from repro.datasets.random_hin import make_random_bipartite, make_random_hin
+from repro.datasets.schemas import toy_apc_schema
+from repro.hin.errors import GraphError
+
+
+class TestMakeRandomHin:
+    def test_sizes_respected(self):
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 5, "paper": 7, "conference": 3},
+            seed=0,
+        )
+        assert graph.num_nodes("author") == 5
+        assert graph.num_nodes("paper") == 7
+        assert graph.num_nodes("conference") == 3
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(
+            sizes={"author": 6, "paper": 6, "conference": 2}, edge_prob=0.3
+        )
+        a = make_random_hin(toy_apc_schema(), seed=4, **kwargs)
+        b = make_random_hin(toy_apc_schema(), seed=4, **kwargs)
+        assert a.num_edges() == b.num_edges()
+
+    def test_edge_prob_zero_gives_no_edges(self):
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 4, "paper": 4, "conference": 2},
+            edge_prob=0.0,
+            seed=0,
+        )
+        assert graph.num_edges() == 0
+
+    def test_edge_prob_one_gives_complete_bipartite(self):
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 3, "paper": 4, "conference": 2},
+            edge_prob=1.0,
+            seed=0,
+        )
+        assert graph.num_edges("writes") == 12
+        assert graph.num_edges("published_in") == 8
+
+    def test_per_relation_override(self):
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 4, "paper": 4, "conference": 2},
+            edge_prob=0.0,
+            edge_probs={"writes": 1.0},
+            seed=0,
+        )
+        assert graph.num_edges("writes") == 16
+        assert graph.num_edges("published_in") == 0
+
+    def test_ensure_connected_rows(self):
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 10, "paper": 10, "conference": 3},
+            edge_prob=0.01,
+            seed=0,
+            ensure_connected_rows=True,
+        )
+        for author in graph.node_keys("author"):
+            assert graph.out_neighbors("writes", author)
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(GraphError):
+            make_random_hin(
+                toy_apc_schema(), sizes={"author": 3, "paper": 3}, seed=0
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(GraphError):
+            make_random_hin(
+                toy_apc_schema(),
+                sizes={"author": 0, "paper": 3, "conference": 1},
+                seed=0,
+            )
+
+
+class TestMakeRandomBipartite:
+    def test_shape(self, bipartite):
+        assert bipartite.num_nodes("a") == 12
+        assert bipartite.num_nodes("b") == 9
+
+    def test_single_relation(self, bipartite):
+        assert [r.name for r in bipartite.schema.relations] == ["r"]
+
+    def test_connected_rows_default(self):
+        graph = make_random_bipartite(20, 5, edge_prob=0.01, seed=1)
+        for key in graph.node_keys("a"):
+            assert graph.out_neighbors("r", key)
+
+
+class TestZipfDegrees:
+    def test_popular_targets_get_more_edges(self):
+        import numpy as np
+
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 200, "paper": 50, "conference": 2},
+            edge_prob=0.1,
+            seed=0,
+            degree_exponent=1.5,
+        )
+        in_degrees = np.asarray(
+            graph.adjacency("writes").sum(axis=0)
+        ).ravel()
+        first_quarter = in_degrees[: len(in_degrees) // 4].sum()
+        last_quarter = in_degrees[-len(in_degrees) // 4:].sum()
+        assert first_quarter > 3 * last_quarter
+
+    def test_uniform_when_exponent_unset(self):
+        import numpy as np
+
+        graph = make_random_hin(
+            toy_apc_schema(),
+            sizes={"author": 200, "paper": 50, "conference": 2},
+            edge_prob=0.1,
+            seed=0,
+        )
+        in_degrees = np.asarray(
+            graph.adjacency("writes").sum(axis=0)
+        ).ravel()
+        first_quarter = in_degrees[: len(in_degrees) // 4].sum()
+        last_quarter = in_degrees[-len(in_degrees) // 4:].sum()
+        assert first_quarter < 2 * last_quarter
+
+    def test_deterministic(self):
+        kwargs = dict(
+            sizes={"author": 20, "paper": 10, "conference": 2},
+            edge_prob=0.2,
+            degree_exponent=1.0,
+        )
+        a = make_random_hin(toy_apc_schema(), seed=7, **kwargs)
+        b = make_random_hin(toy_apc_schema(), seed=7, **kwargs)
+        assert a.num_edges() == b.num_edges()

@@ -1,0 +1,67 @@
+"""Tests for the Fig. 3 schemas: every paper path must parse."""
+
+import pytest
+
+from repro.datasets.schemas import (
+    acm_schema,
+    bipartite_schema,
+    dblp_schema,
+    toy_apc_schema,
+)
+
+#: Every compact path string the paper uses on the ACM dataset.
+ACM_PAPER_PATHS = [
+    "APVC", "APT", "APS", "APA",
+    "CVPA", "CVPAF", "CVPS", "CVPAPVC",
+    "APVCVPA", "CVPAPA",
+]
+
+#: Every compact path string the paper uses on the DBLP dataset.
+DBLP_PAPER_PATHS = ["CPA", "CPAPC", "APCPA", "PAPCPAP"]
+
+
+class TestAcmSchema:
+    @pytest.mark.parametrize("spec", ACM_PAPER_PATHS)
+    def test_paper_path_parses(self, spec):
+        schema = acm_schema()
+        path = schema.path(spec)
+        assert path.code() == spec
+
+    def test_seven_types(self):
+        assert len(acm_schema().object_types) == 7
+
+    def test_six_relations(self):
+        assert len(acm_schema().relations) == 6
+
+    def test_symmetric_paper_paths(self):
+        schema = acm_schema()
+        assert schema.path("APVCVPA").is_symmetric
+        assert schema.path("APA").is_symmetric
+        assert not schema.path("APVC").is_symmetric
+
+
+class TestDblpSchema:
+    @pytest.mark.parametrize("spec", DBLP_PAPER_PATHS)
+    def test_paper_path_parses(self, spec):
+        schema = dblp_schema()
+        path = schema.path(spec)
+        assert path.code() == spec
+
+    def test_four_types(self):
+        assert len(dblp_schema().object_types) == 4
+
+    def test_clustering_paths_symmetric(self):
+        schema = dblp_schema()
+        for spec in ("CPAPC", "APCPA", "PAPCPAP"):
+            assert schema.path(spec).is_symmetric
+
+
+class TestSmallSchemas:
+    def test_toy_apc(self):
+        schema = toy_apc_schema()
+        assert schema.path("APC").length == 2
+
+    def test_bipartite(self):
+        schema = bipartite_schema()
+        assert schema.path("AB").length == 1
+        assert schema.path("ABA").is_symmetric

@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart([("a", 1.0), ("b", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        text = bar_chart([("a", 1.0)], title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_values_printed(self):
+        text = bar_chart([("a", 0.125)])
+        assert "0.125" in text
+
+    def test_empty_data(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_all_zero_values(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "#" not in text
+
+    def test_negative_values_render_empty(self):
+        text = bar_chart([("a", -1.0), ("b", 2.0)])
+        lines = text.splitlines()
+        assert "#" not in lines[0]
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=0)
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("a-much-longer-label", 0.5)])
+        lines = text.splitlines()
+        first_bar = lines[0].index("#")
+        second_bar = lines[1].index("#")
+        assert first_bar == second_bar
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_series(self):
+        text = grouped_bar_chart(
+            ["g1"], {"a": [1.0], "b": [0.5]}, width=10
+        )
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_group_headers_present(self):
+        text = grouped_bar_chart(
+            ["KDD", "SIGMOD"], {"HeteSim": [1.0, 2.0], "PCRW": [2.0, 3.0]}
+        )
+        assert "KDD" in text and "SIGMOD" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1", "g2"], {"a": [1.0]})
+
+    def test_empty_groups(self):
+        assert "(no data)" in grouped_bar_chart([], {"a": []})
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g"], {"a": [1.0]}, width=-1)

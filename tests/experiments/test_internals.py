@@ -1,0 +1,85 @@
+"""Focused tests on the experiment modules' internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import data as shared_data
+
+
+class TestFig6Internals:
+    def test_pcrw_forward_scores_match_matrix_column(self):
+        from repro.baselines.pcrw import pcrw_matrix
+        from repro.experiments.fig6_rank_difference import (
+            _pcrw_forward_scores,
+        )
+
+        network, engine = shared_data.acm_engine(0)
+        graph = network.graph
+        forward = engine.path("APVC")
+        matrix = pcrw_matrix(graph, forward)
+        kdd = graph.node_index("conference", "KDD")
+        scores = dict(_pcrw_forward_scores(graph, forward, "KDD"))
+        for i, author in enumerate(graph.node_keys("author")):
+            assert scores[author] == pytest.approx(matrix[i, kdd])
+
+
+class TestTable6Internals:
+    def test_clustering_nmi_uses_labeled_subset_only(self):
+        from repro.experiments.table6_clustering import _clustering_nmi
+
+        # A block similarity where only half the objects carry labels.
+        keys = [f"x{i}" for i in range(8)]
+        labels = {keys[i]: i // 2 for i in range(4)}  # 4 labelled, 2 areas
+        similarity = np.eye(8)
+        similarity[:2, :2] = 1.0
+        similarity[2:4, 2:4] = 1.0
+        nmi = _clustering_nmi(similarity, keys, labels, runs=2)
+        assert 0 <= nmi <= 1
+
+    def test_perfect_blocks_give_perfect_nmi(self):
+        from repro.experiments.table6_clustering import _clustering_nmi
+
+        keys = [f"x{i}" for i in range(8)]
+        labels = {key: i // 4 for i, key in enumerate(keys)}
+        similarity = np.zeros((8, 8))
+        similarity[:4, :4] = 1.0
+        similarity[4:, 4:] = 1.0
+        # Two clusters planted but the harness asks NCut for 4: use a
+        # four-block matrix instead for an exact match.
+        similarity = np.zeros((8, 8))
+        for block in range(4):
+            similarity[
+                2 * block: 2 * block + 2, 2 * block: 2 * block + 2
+            ] = 1.0
+        labels = {key: i // 2 for i, key in enumerate(keys)}
+        nmi = _clustering_nmi(similarity, keys, labels, runs=2)
+        assert nmi == pytest.approx(1.0)
+
+
+class TestComplexityInternals:
+    def test_three_type_schema_shape(self):
+        from repro.experiments.complexity import _three_type_schema
+
+        schema = _three_type_schema()
+        assert [t.code for t in schema.object_types] == ["A", "B", "C"]
+        assert schema.path("ABCBA").is_symmetric
+
+    def test_timer_returns_positive(self):
+        from repro.experiments.complexity import _time
+
+        elapsed = _time(lambda: sum(range(1000)), repeats=2)
+        assert elapsed > 0
+
+
+class TestTable3Internals:
+    def test_pairs_for_covers_roles(self):
+        from repro.experiments.table3_expert_finding import pairs_for
+
+        network = shared_data.acm(0)
+        pairs = pairs_for(network)
+        roles = [role for role, _, _ in pairs]
+        assert roles.count("influential") == 4
+        assert roles.count("young") == 2
+        for _, author, conference in pairs:
+            assert network.graph.has_node("author", author)
+            assert network.graph.has_node("conference", conference)

@@ -1,0 +1,64 @@
+"""Seed robustness: the paper's shapes must not depend on one lucky seed.
+
+Runs the sharpest shape assertions of each experiment on two additional
+dataset seeds.  (The full shape battery runs on seed 0 in
+``test_experiments.py``; here we check the load-bearing claims only, to
+keep runtime bounded.)
+"""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+SEEDS = [1, 2]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seed(request):
+    return request.param
+
+
+class TestShapeStability:
+    def test_table1_home_conference_first(self, seed):
+        result = get_experiment("table1")(seed=seed)
+        assert result.data["profiles"]["APVC"][0][0] == "KDD"
+
+    def test_table3_pcrw_conflict(self, seed):
+        records = get_experiment("table3")(seed=seed).data["records"]
+        young = [r for r in records if r["role"] == "young"]
+        stars = [r for r in records if r["role"] == "influential"]
+        assert all(
+            y["pcrw_apvc"] >= max(s["pcrw_apvc"] for s in stars)
+            for y in young
+        )
+
+    def test_table4_pcrw_self_maximum_violation(self, seed):
+        result = get_experiment("table4")(seed=seed)
+        assert result.data["pcrw_self_rank"] > 1
+        assert result.data["hetesim"][0][1] == pytest.approx(1.0)
+
+    def test_table5_hetesim_wins_on_average(self, seed):
+        # Per-conference wins get noisy on small synthetic networks at
+        # unlucky seeds; the robust form of the claim is the mean margin
+        # (the full 9/9 pattern is asserted at seed 0).
+        records = get_experiment("table5")(seed=seed).data["records"]
+        mean_hetesim = sum(r["hetesim"] for r in records) / len(records)
+        mean_pcrw = sum(r["pcrw"] for r in records) / len(records)
+        assert mean_hetesim > mean_pcrw
+        assert get_experiment("table5")(seed=seed).data["wins"] >= 5
+
+    def test_table7_group_author_jump(self, seed):
+        result = get_experiment("table7")(seed=seed)
+        assert result.data["group_rank_cvpapa"] < result.data[
+            "group_rank_cvpa"
+        ]
+
+    def test_fig6_hetesim_lower_on_most(self, seed):
+        result = get_experiment("fig6")(seed=seed)
+        assert result.data["wins"] >= 9
+
+    def test_fig7_peers_hug_hub(self, seed):
+        cosines = get_experiment("fig7")(seed=seed).data["cosines_to_hub"]
+        peer = max(cosines["peer-author-1"], cosines["peer-author-2"])
+        broad = max(cosines["broad-author-1"], cosines["broad-author-2"])
+        assert peer > broad

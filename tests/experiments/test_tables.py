@@ -1,0 +1,58 @@
+"""Unit tests for the text-table renderer and the CLI runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.tables import format_score, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["A", "Bee"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "Bee" in lines[0]
+        assert lines[1].startswith("-")
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_non_string_cells(self):
+        text = render_table(["Rank", "Score"], [[1, 0.5]])
+        assert "1" in text and "0.5" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestFormatScore:
+    def test_default_four_digits(self):
+        assert format_score(0.123456) == "0.1235"
+
+    def test_custom_digits(self):
+        assert format_score(3.14159, digits=2) == "3.14"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig7" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "completed in" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["table1", "--seed", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

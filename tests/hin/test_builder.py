@@ -1,0 +1,81 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.hin.builder import GraphBuilder
+from repro.hin.errors import GraphError, SchemaError
+from repro.hin.schema import NetworkSchema
+
+
+@pytest.fixture()
+def schema():
+    return NetworkSchema.from_spec(
+        [("author", "A"), ("paper", "P")],
+        [("writes", "author", "paper")],
+    )
+
+
+class TestGraphBuilder:
+    def test_build_basic(self, schema):
+        graph = (
+            GraphBuilder(schema)
+            .edges("writes", [("alice", "p1"), ("bob", "p1")])
+            .build()
+        )
+        assert graph.num_nodes("author") == 2
+        assert graph.num_edges("writes") == 2
+
+    def test_isolated_nodes(self, schema):
+        graph = GraphBuilder(schema).nodes("author", ["lurker"]).build()
+        assert graph.has_node("author", "lurker")
+        assert graph.num_edges() == 0
+
+    def test_chaining_returns_self(self, schema):
+        builder = GraphBuilder(schema)
+        assert builder.nodes("author", []) is builder
+        assert builder.edges("writes", []) is builder
+
+    def test_weighted_edges(self, schema):
+        graph = (
+            GraphBuilder(schema)
+            .weighted_edges("writes", [("alice", "p1", 2.5)])
+            .build()
+        )
+        assert graph.adjacency("writes")[0, 0] == 2.5
+
+    def test_negative_weight_rejected_eagerly(self, schema):
+        builder = GraphBuilder(schema)
+        with pytest.raises(GraphError):
+            builder.weighted_edges("writes", [("a", "p", -1.0)])
+
+    def test_unknown_relation_rejected_eagerly(self, schema):
+        builder = GraphBuilder(schema)
+        with pytest.raises(SchemaError):
+            builder.edges("reads", [("a", "p")])
+
+    def test_unknown_type_rejected_eagerly(self, schema):
+        builder = GraphBuilder(schema)
+        with pytest.raises(SchemaError):
+            builder.nodes("ghost", ["x"])
+
+    def test_build_is_repeatable(self, schema):
+        builder = GraphBuilder(schema).edges("writes", [("a", "p1")])
+        first = builder.build()
+        second = builder.build()
+        assert first is not second
+        assert first.num_edges() == second.num_edges() == 1
+
+    def test_inverse_relation_accepted(self, schema):
+        graph = (
+            GraphBuilder(schema)
+            .edges("writes^-1", [("p1", "alice")])
+            .build()
+        )
+        assert graph.num_edges("writes") == 1
+        assert dict(graph.out_neighbors("writes", "alice")) == {"p1": 1.0}
+
+    def test_num_pending_edges(self, schema):
+        builder = GraphBuilder(schema)
+        assert builder.num_pending_edges == 0
+        builder.edges("writes", [("a", "p1"), ("b", "p2")])
+        assert builder.num_pending_edges == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the edge-object decomposition (Definition 6, Property 1)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.hin.decomposition import decompose_adjacency
+
+
+class TestDecomposeAdjacency:
+    def test_product_recovers_original_unit_weights(self, fig5):
+        matrix = fig5.adjacency("r")
+        w_ae, w_eb = decompose_adjacency(matrix)
+        np.testing.assert_allclose(
+            (w_ae @ w_eb).toarray(), matrix.toarray()
+        )
+
+    def test_product_recovers_original_weighted(self):
+        matrix = sparse.csr_matrix(
+            np.array([[4.0, 0.0], [0.0, 9.0], [1.0, 2.0]])
+        )
+        w_ae, w_eb = decompose_adjacency(matrix)
+        np.testing.assert_allclose(
+            (w_ae @ w_eb).toarray(), matrix.toarray()
+        )
+
+    def test_one_edge_object_per_nonzero(self, fig5):
+        matrix = fig5.adjacency("r")
+        w_ae, w_eb = decompose_adjacency(matrix)
+        assert w_ae.shape == (matrix.shape[0], matrix.nnz)
+        assert w_eb.shape == (matrix.nnz, matrix.shape[1])
+
+    def test_each_edge_object_has_one_source_and_target(self, fig5):
+        w_ae, w_eb = decompose_adjacency(fig5.adjacency("r"))
+        # Each column of W_AE and each row of W_EB has exactly one nonzero.
+        assert (np.diff(w_ae.tocsc().indptr) == 1).all()
+        assert (np.diff(w_eb.indptr) == 1).all()
+
+    def test_sqrt_weight_construction(self):
+        matrix = sparse.csr_matrix(np.array([[4.0]]))
+        w_ae, w_eb = decompose_adjacency(matrix)
+        assert w_ae.toarray()[0, 0] == pytest.approx(2.0)
+        assert w_eb.toarray()[0, 0] == pytest.approx(2.0)
+
+    def test_duplicates_are_accumulated_first(self):
+        # Two stored entries at the same coordinate must collapse into a
+        # single edge object with the summed weight (Property 1 requires
+        # the decomposition be computed on the accumulated relation).
+        matrix = sparse.coo_matrix(
+            (np.array([1.0, 1.0]), (np.array([0, 0]), np.array([0, 0]))),
+            shape=(1, 1),
+        )
+        w_ae, w_eb = decompose_adjacency(matrix)
+        assert w_ae.shape[1] == 1
+        np.testing.assert_allclose((w_ae @ w_eb).toarray(), [[2.0]])
+
+    def test_empty_matrix(self):
+        matrix = sparse.csr_matrix((3, 4))
+        w_ae, w_eb = decompose_adjacency(matrix)
+        assert w_ae.shape == (3, 0)
+        assert w_eb.shape == (0, 4)
+        np.testing.assert_allclose((w_ae @ w_eb).toarray(), np.zeros((3, 4)))
+
+    def test_decomposition_unique_up_to_edge_order(self, fig5):
+        """Property 1: the decomposition is unique -- re-running yields
+        the same matrices."""
+        first = decompose_adjacency(fig5.adjacency("r"))
+        second = decompose_adjacency(fig5.adjacency("r"))
+        np.testing.assert_allclose(
+            first[0].toarray(), second[0].toarray()
+        )
+        np.testing.assert_allclose(
+            first[1].toarray(), second[1].toarray()
+        )

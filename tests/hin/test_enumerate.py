@@ -1,0 +1,115 @@
+"""Unit tests for meta-path enumeration."""
+
+import pytest
+
+from repro.datasets.schemas import acm_schema, dblp_schema, toy_apc_schema
+from repro.hin.enumerate import enumerate_paths, enumerate_symmetric_paths
+from repro.hin.errors import PathError, SchemaError
+
+
+class TestEnumeratePaths:
+    def test_finds_the_paper_author_conference_paths(self):
+        schema = acm_schema()
+        paths = {p.code() for p in enumerate_paths(
+            schema, "author", "conference", max_length=3
+        )}
+        assert "APVC" in paths
+
+    def test_longer_bound_finds_coauthor_path(self):
+        schema = acm_schema()
+        paths = {p.code() for p in enumerate_paths(
+            schema, "author", "conference", max_length=5
+        )}
+        assert {"APVC", "APAPVC"} <= paths
+
+    def test_all_results_have_right_endpoints(self):
+        schema = dblp_schema()
+        for path in enumerate_paths(schema, "author", "term", max_length=4):
+            assert path.source_type.name == "author"
+            assert path.target_type.name == "term"
+            assert path.length <= 4
+
+    def test_results_sorted_and_unique(self):
+        schema = acm_schema()
+        paths = enumerate_paths(schema, "author", "conference", max_length=5)
+        assert len(paths) == len(set(paths))
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_no_backtrack_prunes_round_trips(self):
+        schema = toy_apc_schema()
+        with_bt = {p.code() for p in enumerate_paths(
+            schema, "author", "conference", max_length=4
+        )}
+        without_bt = {p.code() for p in enumerate_paths(
+            schema, "author", "conference", max_length=4,
+            allow_backtrack=False,
+        )}
+        assert "APAPC" in with_bt
+        assert "APAPC" not in without_bt
+        assert "APC" in without_bt
+
+    def test_same_type_endpoints(self):
+        schema = toy_apc_schema()
+        codes = {p.code() for p in enumerate_paths(
+            schema, "author", "author", max_length=2
+        )}
+        assert codes == {"APA"}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            enumerate_paths(toy_apc_schema(), "ghost", "author", 2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(PathError):
+            enumerate_paths(toy_apc_schema(), "author", "paper", 0)
+
+    def test_no_path_between_disconnected_types(self):
+        from repro.hin.schema import NetworkSchema
+
+        schema = NetworkSchema.from_spec(
+            [("a", "A"), ("b", "B"), ("c", "C")],
+            [("r", "a", "b")],  # c is unreachable
+        )
+        assert enumerate_paths(schema, "a", "c", max_length=5) == []
+
+
+class TestEnumerateSymmetricPaths:
+    def test_all_results_symmetric(self):
+        for path in enumerate_symmetric_paths(acm_schema(), "author", 6):
+            assert path.is_symmetric
+            assert path.source_type.name == "author"
+            assert path.target_type.name == "author"
+
+    def test_finds_the_paper_clustering_paths(self):
+        codes = {p.code() for p in enumerate_symmetric_paths(
+            dblp_schema(), "author", 4
+        )}
+        assert "APA" in codes
+        assert "APCPA" in codes
+
+    def test_length_bound_respected(self):
+        for path in enumerate_symmetric_paths(acm_schema(), "paper", 4):
+            assert path.length <= 4
+
+    def test_unique_results(self):
+        paths = enumerate_symmetric_paths(acm_schema(), "author", 6)
+        assert len(paths) == len(set(paths))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(PathError):
+            enumerate_symmetric_paths(acm_schema(), "author", 1)
+
+    def test_candidates_feed_path_learning(self, fig4):
+        """Enumerated candidates plug into the supervised learner."""
+        from repro.core.engine import HeteSimEngine
+        from repro.core.pathlearn import learn_path_weights
+
+        candidates = enumerate_paths(
+            fig4.schema, "author", "conference", max_length=4
+        )
+        engine = HeteSimEngine(fig4)
+        result = learn_path_weights(
+            engine, candidates, [("Tom", "KDD", 1), ("Tom", "SIGMOD", 0)]
+        )
+        assert sum(result.weights.values()) == pytest.approx(1.0)

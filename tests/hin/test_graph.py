@@ -1,0 +1,186 @@
+"""Unit tests for the typed sparse graph."""
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import GraphError, SchemaError
+from repro.hin.graph import HeteroGraph
+from repro.hin.schema import NetworkSchema
+
+
+@pytest.fixture()
+def schema():
+    return NetworkSchema.from_spec(
+        [("author", "A"), ("paper", "P")],
+        [("writes", "author", "paper")],
+    )
+
+
+@pytest.fixture()
+def graph(schema):
+    g = HeteroGraph(schema)
+    g.add_edge("writes", "alice", "p1")
+    g.add_edge("writes", "alice", "p2")
+    g.add_edge("writes", "bob", "p2")
+    return g
+
+
+class TestNodes:
+    def test_add_node_returns_index(self, schema):
+        g = HeteroGraph(schema)
+        assert g.add_node("author", "alice") == 0
+        assert g.add_node("author", "bob") == 1
+
+    def test_add_node_idempotent(self, schema):
+        g = HeteroGraph(schema)
+        first = g.add_node("author", "alice")
+        again = g.add_node("author", "alice")
+        assert first == again
+        assert g.num_nodes("author") == 1
+
+    def test_same_key_different_types_are_distinct(self, schema):
+        g = HeteroGraph(schema)
+        g.add_node("author", "x")
+        g.add_node("paper", "x")
+        assert g.num_nodes("author") == 1
+        assert g.num_nodes("paper") == 1
+
+    def test_node_index_and_key_roundtrip(self, graph):
+        idx = graph.node_index("author", "bob")
+        assert graph.node_key("author", idx) == "bob"
+
+    def test_node_index_unknown_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.node_index("author", "ghost")
+
+    def test_node_key_out_of_range_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.node_key("author", 99)
+
+    def test_unknown_type_raises_schema_error(self, graph):
+        with pytest.raises(SchemaError):
+            graph.add_node("ghost", "x")
+        with pytest.raises(SchemaError):
+            graph.node_keys("ghost")
+
+    def test_add_nodes_bulk(self, schema):
+        g = HeteroGraph(schema)
+        indices = g.add_nodes("paper", ["p1", "p2", "p1"])
+        assert indices == [0, 1, 0]
+
+    def test_node_keys_is_copy(self, graph):
+        keys = graph.node_keys("author")
+        keys.append("mallory")
+        assert "mallory" not in graph.node_keys("author")
+
+    def test_num_nodes_total(self, graph):
+        assert graph.num_nodes() == graph.num_nodes("author") + graph.num_nodes("paper")
+
+    def test_has_node(self, graph):
+        assert graph.has_node("author", "alice")
+        assert not graph.has_node("author", "ghost")
+
+
+class TestEdges:
+    def test_edge_creates_endpoints(self, schema):
+        g = HeteroGraph(schema)
+        g.add_edge("writes", "carol", "p9")
+        assert g.has_node("author", "carol")
+        assert g.has_node("paper", "p9")
+
+    def test_num_edges(self, graph):
+        assert graph.num_edges("writes") == 3
+        assert graph.num_edges() == 3
+
+    def test_num_edges_inverse_name(self, graph):
+        assert graph.num_edges("writes^-1") == 3
+
+    def test_inverse_edge_stored_forward(self, schema):
+        g = HeteroGraph(schema)
+        g.add_edge("writes^-1", "p1", "alice")
+        assert g.adjacency("writes")[
+            g.node_index("author", "alice"), g.node_index("paper", "p1")
+        ] == 1.0
+
+    def test_negative_weight_rejected(self, schema):
+        g = HeteroGraph(schema)
+        with pytest.raises(GraphError):
+            g.add_edge("writes", "alice", "p1", weight=-1.0)
+
+    def test_parallel_edges_accumulate(self, schema):
+        g = HeteroGraph(schema)
+        g.add_edge("writes", "alice", "p1")
+        g.add_edge("writes", "alice", "p1")
+        matrix = g.adjacency("writes")
+        assert matrix[0, 0] == 2.0
+        assert g.num_edges("writes") == 2
+
+    def test_add_edges_bulk(self, schema):
+        g = HeteroGraph(schema)
+        g.add_edges("writes", [("a", "p1"), ("b", "p2")])
+        assert g.num_edges("writes") == 2
+
+
+class TestAdjacency:
+    def test_shape(self, graph):
+        matrix = graph.adjacency("writes")
+        assert matrix.shape == (
+            graph.num_nodes("author"),
+            graph.num_nodes("paper"),
+        )
+
+    def test_values(self, graph):
+        matrix = graph.adjacency("writes").toarray()
+        alice = graph.node_index("author", "alice")
+        bob = graph.node_index("author", "bob")
+        p1 = graph.node_index("paper", "p1")
+        p2 = graph.node_index("paper", "p2")
+        assert matrix[alice, p1] == 1
+        assert matrix[alice, p2] == 1
+        assert matrix[bob, p2] == 1
+        assert matrix[bob, p1] == 0
+
+    def test_inverse_is_transpose(self, graph):
+        forward = graph.adjacency("writes").toarray()
+        backward = graph.adjacency("writes^-1").toarray()
+        np.testing.assert_array_equal(backward, forward.T)
+
+    def test_adjacency_reflects_later_mutation(self, graph):
+        before = graph.adjacency("writes").nnz
+        graph.add_edge("writes", "carol", "p3")
+        after = graph.adjacency("writes").nnz
+        assert after == before + 1
+
+    def test_weighted_edges(self, schema):
+        g = HeteroGraph(schema)
+        g.add_edge("writes", "alice", "p1", weight=2.5)
+        assert g.adjacency("writes")[0, 0] == 2.5
+
+
+class TestNeighbors:
+    def test_out_neighbors(self, graph):
+        neighbors = dict(graph.out_neighbors("writes", "alice"))
+        assert neighbors == {"p1": 1.0, "p2": 1.0}
+
+    def test_in_neighbors(self, graph):
+        neighbors = dict(graph.in_neighbors("writes", "p2"))
+        assert neighbors == {"alice": 1.0, "bob": 1.0}
+
+    def test_out_neighbors_of_inverse(self, graph):
+        neighbors = dict(graph.out_neighbors("writes^-1", "p1"))
+        assert neighbors == {"alice": 1.0}
+
+    def test_no_neighbors(self, graph):
+        graph.add_node("author", "lurker")
+        assert graph.out_neighbors("writes", "lurker") == []
+
+    def test_degree(self, graph):
+        assert graph.degree("writes", "alice") == 2.0
+        assert graph.degree("writes^-1", "p2") == 2.0
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self, graph):
+        text = graph.summary()
+        assert "author: 2 nodes" in text
+        assert "3 edges" in text

@@ -1,0 +1,100 @@
+"""Unit tests for path-instance enumeration."""
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.hin.instances import count_path_instances, path_instances
+
+
+class TestPathInstances:
+    def test_tom_kdd_instances(self, fig4):
+        path = fig4.schema.path("APC")
+        instances = path_instances(fig4, path, "Tom", "KDD")
+        assert set(instances) == {
+            ("Tom", "p1", "KDD"),
+            ("Tom", "p2", "KDD"),
+        }
+
+    def test_no_target_enumerates_all(self, fig4):
+        path = fig4.schema.path("APC")
+        instances = path_instances(fig4, path, "Mary")
+        assert set(instances) == {
+            ("Mary", "p2", "KDD"),
+            ("Mary", "p3", "SIGMOD"),
+        }
+
+    def test_unreachable_pair_empty(self, fig4):
+        path = fig4.schema.path("APC")
+        assert path_instances(fig4, path, "Tom", "SIGMOD") == []
+
+    def test_limit_respected(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        instances = path_instances(graph, path, hub, limit=7)
+        assert len(instances) == 7
+
+    def test_instances_are_valid_walks(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        for instance in path_instances(graph, path, hub, limit=10):
+            assert len(instance) == path.length + 1
+            for step, (src, tgt) in enumerate(
+                zip(instance, instance[1:])
+            ):
+                relation = path.relations[step]
+                neighbors = {
+                    k for k, _ in graph.out_neighbors(relation.name, src)
+                }
+                assert tgt in neighbors
+
+    def test_longer_path_through_coauthors(self, fig4):
+        path = fig4.schema.path("APAPC")
+        instances = path_instances(fig4, path, "Tom", "SIGMOD")
+        assert ("Tom", "p2", "Mary", "p3", "SIGMOD") in instances
+
+    def test_deterministic_order(self, fig4):
+        path = fig4.schema.path("APC")
+        assert path_instances(fig4, path, "Tom") == path_instances(
+            fig4, path, "Tom"
+        )
+
+    def test_validation(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            path_instances(fig4, path, "ghost")
+        with pytest.raises(QueryError):
+            path_instances(fig4, path, "Tom", "ghost")
+        with pytest.raises(QueryError):
+            path_instances(fig4, path, "Tom", limit=0)
+
+
+class TestCountPathInstances:
+    def test_matches_enumeration(self, fig4):
+        path = fig4.schema.path("APC")
+        for author in fig4.node_keys("author"):
+            for conference in fig4.node_keys("conference"):
+                enumerated = len(
+                    path_instances(fig4, path, author, conference, limit=10_000)
+                )
+                counted = count_path_instances(
+                    fig4, path, author, conference
+                )
+                assert counted == enumerated
+
+    def test_matches_enumeration_on_acm(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVC")
+        hub = acm.personas["hub_author"]
+        counted = count_path_instances(graph, path, hub, "KDD")
+        enumerated = len(
+            path_instances(graph, path, hub, "KDD", limit=10_000)
+        )
+        assert counted == enumerated
+        assert counted > 10  # the planted heavy record
+
+    def test_validation(self, fig4):
+        path = fig4.schema.path("APC")
+        with pytest.raises(QueryError):
+            count_path_instances(fig4, path, "ghost", "KDD")

@@ -1,0 +1,149 @@
+"""Unit tests for graph serialisation round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import GraphError
+from repro.hin.graph import HeteroGraph
+from repro.hin.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.hin.schema import NetworkSchema
+
+
+class TestSchemaRoundTrip:
+    def test_roundtrip(self, fig4):
+        data = schema_to_dict(fig4.schema)
+        rebuilt = schema_from_dict(data)
+        assert [t.name for t in rebuilt.object_types] == [
+            t.name for t in fig4.schema.object_types
+        ]
+        assert [r.name for r in rebuilt.relations] == [
+            r.name for r in fig4.schema.relations
+        ]
+
+    def test_dict_is_json_serialisable(self, fig4):
+        json.dumps(schema_to_dict(fig4.schema))
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip_preserves_structure(self, fig4):
+        rebuilt = graph_from_dict(graph_to_dict(fig4))
+        assert rebuilt.num_nodes() == fig4.num_nodes()
+        assert rebuilt.num_edges() == fig4.num_edges()
+        np.testing.assert_allclose(
+            rebuilt.adjacency("writes").toarray(),
+            fig4.adjacency("writes").toarray(),
+        )
+
+    def test_roundtrip_preserves_node_order(self, fig4):
+        rebuilt = graph_from_dict(graph_to_dict(fig4))
+        assert rebuilt.node_keys("author") == fig4.node_keys("author")
+        assert rebuilt.node_keys("paper") == fig4.node_keys("paper")
+
+    def test_roundtrip_preserves_weights(self):
+        schema = NetworkSchema.from_spec(
+            [("a", "A"), ("b", "B")], [("r", "a", "b")]
+        )
+        graph = HeteroGraph(schema)
+        graph.add_edge("r", "x", "y", weight=2.5)
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.adjacency("r")[0, 0] == 2.5
+
+    def test_roundtrip_preserves_isolated_nodes(self):
+        schema = NetworkSchema.from_spec(
+            [("a", "A"), ("b", "B")], [("r", "a", "b")]
+        )
+        graph = HeteroGraph(schema)
+        graph.add_node("a", "lonely")
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.has_node("a", "lonely")
+
+    def test_bad_version_rejected(self, fig4):
+        data = graph_to_dict(fig4)
+        data["format_version"] = 999
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+    def test_file_roundtrip(self, fig4, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig4, path)
+        rebuilt = load_graph(path)
+        assert rebuilt.num_edges() == fig4.num_edges()
+
+    def test_file_roundtrip_accepts_str_path(self, fig4, tmp_path):
+        path = str(tmp_path / "graph.json")
+        save_graph(fig4, path)
+        assert load_graph(path).num_nodes() == fig4.num_nodes()
+
+    def test_hetesim_identical_after_roundtrip(self, fig4, tmp_path):
+        """The measure, not just the structure, must survive IO."""
+        from repro.core.hetesim import hetesim_matrix
+
+        path = tmp_path / "graph.json"
+        save_graph(fig4, path)
+        rebuilt = load_graph(path)
+        meta = fig4.schema.path("APC")
+        meta2 = rebuilt.schema.path("APC")
+        np.testing.assert_allclose(
+            hetesim_matrix(fig4, meta), hetesim_matrix(rebuilt, meta2)
+        )
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip_preserves_everything(self, fig4, tmp_path):
+        from repro.hin.io import load_graph_npz, save_graph_npz
+
+        save_graph_npz(fig4, tmp_path / "binary")
+        rebuilt = load_graph_npz(tmp_path / "binary")
+        assert rebuilt.num_nodes() == fig4.num_nodes()
+        assert rebuilt.node_keys("author") == fig4.node_keys("author")
+        np.testing.assert_allclose(
+            rebuilt.adjacency("writes").toarray(),
+            fig4.adjacency("writes").toarray(),
+        )
+
+    def test_weighted_roundtrip(self, tmp_path):
+        from repro.datasets.schemas import bipartite_schema
+        from repro.hin.graph import HeteroGraph
+        from repro.hin.io import load_graph_npz, save_graph_npz
+
+        graph = HeteroGraph(bipartite_schema())
+        graph.add_edge("r", "x", "y", weight=2.5)
+        save_graph_npz(graph, tmp_path / "w")
+        rebuilt = load_graph_npz(tmp_path / "w")
+        assert rebuilt.adjacency("r")[0, 0] == 2.5
+
+    def test_scores_survive(self, acm, tmp_path):
+        from repro.core.hetesim import hetesim_matrix
+        from repro.hin.io import load_graph_npz, save_graph_npz
+
+        save_graph_npz(acm.graph, tmp_path / "acm")
+        rebuilt = load_graph_npz(tmp_path / "acm")
+        path_spec = "APVC"
+        np.testing.assert_allclose(
+            hetesim_matrix(acm.graph, acm.graph.schema.path(path_spec)),
+            hetesim_matrix(rebuilt, rebuilt.schema.path(path_spec)),
+            atol=1e-12,
+        )
+
+    def test_bad_version_rejected(self, fig4, tmp_path):
+        import json as _json
+
+        from repro.hin.errors import GraphError
+        from repro.hin.io import load_graph_npz, save_graph_npz
+
+        save_graph_npz(fig4, tmp_path / "v")
+        sidecar = tmp_path / "v" / "graph.json"
+        data = _json.loads(sidecar.read_text(encoding="utf-8"))
+        data["format_version"] = 99
+        sidecar.write_text(_json.dumps(data), encoding="utf-8")
+        with pytest.raises(GraphError):
+            load_graph_npz(tmp_path / "v")

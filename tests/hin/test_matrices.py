@@ -1,0 +1,128 @@
+"""Unit tests for transition matrices and Property 2."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.hin.matrices import (
+    col_normalize,
+    reachable_probability_matrix,
+    row_normalize,
+    transition_matrix,
+)
+
+
+@pytest.fixture()
+def matrix():
+    return sparse.csr_matrix(
+        np.array(
+            [
+                [1.0, 2.0, 0.0],
+                [0.0, 0.0, 0.0],
+                [3.0, 0.0, 1.0],
+            ]
+        )
+    )
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, matrix):
+        normalized = row_normalize(matrix).toarray()
+        np.testing.assert_allclose(normalized[0].sum(), 1.0)
+        np.testing.assert_allclose(normalized[2].sum(), 1.0)
+
+    def test_zero_row_stays_zero(self, matrix):
+        normalized = row_normalize(matrix).toarray()
+        np.testing.assert_array_equal(normalized[1], 0.0)
+
+    def test_values(self, matrix):
+        normalized = row_normalize(matrix).toarray()
+        np.testing.assert_allclose(normalized[0], [1 / 3, 2 / 3, 0])
+        np.testing.assert_allclose(normalized[2], [3 / 4, 0, 1 / 4])
+
+    def test_input_not_mutated(self, matrix):
+        original = matrix.toarray().copy()
+        row_normalize(matrix)
+        np.testing.assert_array_equal(matrix.toarray(), original)
+
+    def test_accepts_dense_like_sparse_types(self, matrix):
+        coo = matrix.tocoo()
+        np.testing.assert_allclose(
+            row_normalize(coo).toarray(), row_normalize(matrix).toarray()
+        )
+
+
+class TestColNormalize:
+    def test_cols_sum_to_one(self, matrix):
+        normalized = col_normalize(matrix).toarray()
+        np.testing.assert_allclose(normalized[:, 0].sum(), 1.0)
+        np.testing.assert_allclose(normalized[:, 1].sum(), 1.0)
+        np.testing.assert_allclose(normalized[:, 2].sum(), 1.0)
+
+    def test_zero_col_stays_zero(self):
+        m = sparse.csr_matrix(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        normalized = col_normalize(m).toarray()
+        np.testing.assert_array_equal(normalized[:, 1], 0.0)
+
+    def test_duality_with_row_normalize(self, matrix):
+        # col_normalize(W) == row_normalize(W')'
+        left = col_normalize(matrix).toarray()
+        right = row_normalize(matrix.T).toarray().T
+        np.testing.assert_allclose(left, right)
+
+
+class TestTransitionMatrix:
+    def test_property2_u_equals_v_transposed(self, fig4):
+        """Property 2: U_AB = V_BA' and V_AB = U_BA'."""
+        u_ap = transition_matrix(fig4, "writes", "U").toarray()
+        v_pa = transition_matrix(fig4, "writes^-1", "V").toarray()
+        np.testing.assert_allclose(u_ap, v_pa.T)
+
+        v_ap = transition_matrix(fig4, "writes", "V").toarray()
+        u_pa = transition_matrix(fig4, "writes^-1", "U").toarray()
+        np.testing.assert_allclose(v_ap, u_pa.T)
+
+    def test_bad_direction_rejected(self, fig4):
+        with pytest.raises(ValueError):
+            transition_matrix(fig4, "writes", "X")
+
+    def test_u_rows_stochastic(self, fig4):
+        u = transition_matrix(fig4, "writes", "U").toarray()
+        np.testing.assert_allclose(u.sum(axis=1), 1.0)
+
+
+class TestReachableProbability:
+    def test_single_step_is_u(self, fig4):
+        path = fig4.schema.path("AP")
+        pm = reachable_probability_matrix(fig4, path).toarray()
+        u = transition_matrix(fig4, "writes", "U").toarray()
+        np.testing.assert_allclose(pm, u)
+
+    def test_two_step_product(self, fig4):
+        path = fig4.schema.path("APC")
+        pm = reachable_probability_matrix(fig4, path).toarray()
+        u1 = transition_matrix(fig4, "writes", "U").toarray()
+        u2 = transition_matrix(fig4, "published_in", "U").toarray()
+        np.testing.assert_allclose(pm, u1 @ u2)
+
+    def test_rows_substochastic(self, fig4):
+        path = fig4.schema.path("APC")
+        pm = reachable_probability_matrix(fig4, path).toarray()
+        assert (pm.sum(axis=1) <= 1.0 + 1e-12).all()
+
+    def test_fig4_tom_reaches_kdd(self, fig4):
+        path = fig4.schema.path("APC")
+        pm = reachable_probability_matrix(fig4, path)
+        tom = fig4.node_index("author", "Tom")
+        kdd = fig4.node_index("conference", "KDD")
+        assert pm[tom, kdd] == pytest.approx(1.0)
+
+    def test_reverse_path_differs(self, fig4):
+        """PM is direction dependent (the PCRW asymmetry)."""
+        forward = reachable_probability_matrix(
+            fig4, fig4.schema.path("APC")
+        ).toarray()
+        backward = reachable_probability_matrix(
+            fig4, fig4.schema.path("CPA")
+        ).toarray()
+        assert not np.allclose(forward, backward.T)

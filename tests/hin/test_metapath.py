@@ -1,0 +1,187 @@
+"""Unit tests for meta-path algebra: parsing, reversal, decomposition."""
+
+import pytest
+
+from repro.datasets.schemas import acm_schema, dblp_schema
+from repro.hin.errors import PathError
+from repro.hin.metapath import MetaPath, parse_path
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return acm_schema()
+
+
+class TestParsing:
+    def test_compact_code_string(self, schema):
+        path = parse_path(schema, "APVC")
+        assert path.code() == "APVC"
+        assert [r.name for r in path.relations] == [
+            "writes",
+            "published_in",
+            "belongs_to",
+        ]
+
+    def test_code_string_with_inverse_steps(self, schema):
+        path = parse_path(schema, "CVPA")
+        assert [r.name for r in path.relations] == [
+            "belongs_to^-1",
+            "published_in^-1",
+            "writes^-1",
+        ]
+
+    def test_type_name_sequence(self, schema):
+        path = parse_path(schema, ["author", "paper", "venue"])
+        assert path.code() == "APV"
+
+    def test_relation_name_sequence(self, schema):
+        path = parse_path(schema, ["writes", "published_in"])
+        assert path.code() == "APV"
+
+    def test_relation_name_sequence_with_inverse(self, schema):
+        path = parse_path(schema, ["writes", "writes^-1"])
+        assert path.code() == "APA"
+
+    def test_relation_object_sequence(self, schema):
+        writes = schema.relation("writes")
+        published = schema.relation("published_in")
+        path = parse_path(schema, [writes, published])
+        assert path.code() == "APV"
+
+    def test_metapath_passthrough(self, schema):
+        path = parse_path(schema, "APV")
+        assert parse_path(schema, path) is path
+
+    def test_single_code_rejected(self, schema):
+        with pytest.raises(PathError):
+            parse_path(schema, "A")
+
+    def test_unknown_code_rejected(self, schema):
+        with pytest.raises(PathError):
+            parse_path(schema, "AXZ")
+
+    def test_non_adjacent_types_rejected(self, schema):
+        # No direct author-conference relation exists.
+        with pytest.raises(PathError):
+            parse_path(schema, "AC")
+
+    def test_empty_spec_rejected(self, schema):
+        with pytest.raises(PathError):
+            parse_path(schema, [])
+
+    def test_mixed_garbage_rejected(self, schema):
+        with pytest.raises(PathError):
+            parse_path(schema, ["author", "nonsense"])
+
+    def test_non_concatenable_relations_rejected(self, schema):
+        writes = schema.relation("writes")
+        belongs = schema.relation("belongs_to")
+        with pytest.raises(PathError):
+            MetaPath(schema, [writes, belongs])
+
+    def test_empty_relations_rejected(self, schema):
+        with pytest.raises(PathError):
+            MetaPath(schema, [])
+
+
+class TestStructure:
+    def test_length_and_node_types(self, schema):
+        path = parse_path(schema, "APVC")
+        assert path.length == 3
+        assert len(path) == 3
+        assert [t.code for t in path.node_types] == ["A", "P", "V", "C"]
+
+    def test_source_and_target_types(self, schema):
+        path = parse_path(schema, "APVC")
+        assert path.source_type.name == "author"
+        assert path.target_type.name == "conference"
+
+
+class TestAlgebra:
+    def test_reverse(self, schema):
+        path = parse_path(schema, "APVC")
+        assert path.reverse().code() == "CVPA"
+
+    def test_reverse_twice_is_identity(self, schema):
+        for spec in ("APVC", "APA", "CVPAPA", "APT"):
+            path = parse_path(schema, spec)
+            assert path.reverse().reverse() == path
+
+    def test_symmetric_paths(self, schema):
+        assert parse_path(schema, "APA").is_symmetric
+        assert parse_path(schema, "APVCVPA").is_symmetric
+        assert not parse_path(schema, "APVC").is_symmetric
+        assert not parse_path(schema, "APAPV").is_symmetric
+
+    def test_concat(self, schema):
+        left = parse_path(schema, "AP")
+        right = parse_path(schema, "PV")
+        assert left.concat(right).code() == "APV"
+        assert (left + right).code() == "APV"
+
+    def test_concat_mismatch_rejected(self, schema):
+        left = parse_path(schema, "AP")
+        with pytest.raises(PathError):
+            left.concat(parse_path(schema, "VC"))
+
+    def test_repeat(self, schema):
+        path = parse_path(schema, "APA")
+        assert path.repeat(2).code() == "APAPA"
+        assert path.repeat(1) == path
+        with pytest.raises(PathError):
+            path.repeat(0)
+
+    def test_subpath(self, schema):
+        path = parse_path(schema, "APVC")
+        assert path.subpath(0, 2).code() == "APV"
+        assert path.subpath(1, 3).code() == "PVC"
+        with pytest.raises(PathError):
+            path.subpath(2, 2)
+
+    def test_equality_and_hash(self, schema):
+        assert parse_path(schema, "APV") == parse_path(schema, "APV")
+        assert hash(parse_path(schema, "APV")) == hash(parse_path(schema, "APV"))
+        assert parse_path(schema, "APV") != parse_path(schema, "APT")
+
+
+class TestHalves:
+    def test_even_split(self, schema):
+        halves = parse_path(schema, "APVCVPA").halves()
+        assert not halves.needs_edge_object
+        assert halves.left.code() == "APVC"
+        assert halves.right.code() == "CVPA"
+
+    def test_even_split_symmetric_relation(self, schema):
+        halves = parse_path(schema, "APA").halves()
+        assert halves.left.code() == "AP"
+        assert halves.right.code() == "PA"
+        assert halves.right.reverse() == halves.left
+
+    def test_odd_split_needs_edge_object(self, schema):
+        halves = parse_path(schema, "APVC").halves()
+        assert halves.needs_edge_object
+        assert halves.left.code() == "AP"
+        assert halves.right.code() == "VC"
+        assert halves.middle_relation.name == "published_in"
+
+    def test_length_one_split(self, schema):
+        halves = parse_path(schema, "AP").subpath(0, 1).halves()
+        assert halves.needs_edge_object
+        assert halves.left is None
+        assert halves.right is None
+        assert halves.middle_relation.name == "writes"
+
+    def test_odd_split_middle_inverse_relation(self, schema):
+        halves = parse_path(schema, "CVPA").halves()
+        assert halves.needs_edge_object
+        assert halves.middle_relation.name == "published_in^-1"
+
+
+class TestDblpPaths:
+    def test_paper_clustering_path(self):
+        schema = dblp_schema()
+        path = parse_path(schema, "PAPCPAP")
+        assert path.length == 6
+        assert path.is_symmetric
+        halves = path.halves()
+        assert halves.left.code() == "PAPC"

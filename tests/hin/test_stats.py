@@ -1,0 +1,59 @@
+"""Unit tests for network statistics."""
+
+import pytest
+
+from repro.hin.stats import network_stats, path_cost_estimate, relation_stats
+
+
+class TestRelationStats:
+    def test_fig4_writes(self, fig4):
+        stats = relation_stats(fig4, "writes")
+        assert stats.num_edges == 6
+        # 3 authors x 4 papers = 12 cells.
+        assert stats.density == pytest.approx(0.5)
+        assert stats.mean_out_degree == pytest.approx(2.0)
+        assert stats.max_out_degree == 2
+        assert stats.mean_in_degree == pytest.approx(1.5)
+        assert stats.max_in_degree == 2
+
+    def test_inverse_relation_swaps_degrees(self, fig4):
+        forward = relation_stats(fig4, "writes")
+        backward = relation_stats(fig4, "writes^-1")
+        assert backward.mean_out_degree == forward.mean_in_degree
+        assert backward.mean_in_degree == forward.mean_out_degree
+        assert backward.num_edges == forward.num_edges
+
+    def test_dangling_objects_count_as_zero(self, fig4):
+        fig4.add_node("author", "lurker")
+        stats = relation_stats(fig4, "writes")
+        assert stats.mean_out_degree == pytest.approx(6 / 4)
+
+
+class TestNetworkStats:
+    def test_covers_all_relations(self, fig4):
+        stats = network_stats(fig4)
+        assert set(stats) == {"writes", "published_in"}
+
+    def test_acm_density_is_sparse(self, acm):
+        stats = network_stats(acm.graph)
+        assert stats["writes"].density < 0.1
+
+
+class TestPathCostEstimate:
+    def test_returns_positive_estimates(self, fig4):
+        flops, cells = path_cost_estimate(fig4, "APC")
+        assert flops > 0
+        assert cells == fig4.num_nodes("author") * fig4.num_nodes(
+            "conference"
+        )
+
+    def test_longer_path_costs_more(self, acm):
+        short_flops, _ = path_cost_estimate(acm.graph, "APVC")
+        long_flops, _ = path_cost_estimate(acm.graph, "APVCVPA")
+        assert long_flops > short_flops
+
+    def test_accepts_parsed_paths(self, fig4):
+        path = fig4.schema.path("APC")
+        assert path_cost_estimate(fig4, path) == path_cost_estimate(
+            fig4, "APC"
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for induced/relation subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.hetesim import hetesim_pair
+from repro.hin.errors import GraphError, SchemaError
+from repro.hin.subgraph import induced_subgraph, relation_subgraph
+
+
+class TestInducedSubgraph:
+    def test_keeps_named_nodes_only(self, fig4):
+        sub = induced_subgraph(fig4, {"author": ["Tom", "Mary"]})
+        assert sub.num_nodes("author") == 2
+        assert not sub.has_node("author", "Jim")
+
+    def test_unlisted_types_keep_all_nodes(self, fig4):
+        sub = induced_subgraph(fig4, {"author": ["Tom"]})
+        assert sub.num_nodes("paper") == fig4.num_nodes("paper")
+        assert sub.num_nodes("conference") == fig4.num_nodes("conference")
+
+    def test_edges_require_both_endpoints(self, fig4):
+        sub = induced_subgraph(fig4, {"author": ["Tom"]})
+        # Only Tom's 2 authorship edges survive.
+        assert sub.num_edges("writes") == 2
+        assert sub.num_edges("published_in") == fig4.num_edges("published_in")
+
+    def test_weights_preserved(self):
+        from repro.datasets.schemas import bipartite_schema
+        from repro.hin.graph import HeteroGraph
+
+        graph = HeteroGraph(bipartite_schema())
+        graph.add_edge("r", "a1", "b1", weight=2.5)
+        sub = induced_subgraph(graph, {"a": ["a1"]})
+        assert sub.adjacency("r")[0, 0] == 2.5
+
+    def test_unknown_key_rejected(self, fig4):
+        with pytest.raises(GraphError):
+            induced_subgraph(fig4, {"author": ["ghost"]})
+
+    def test_unknown_type_rejected(self, fig4):
+        with pytest.raises(SchemaError):
+            induced_subgraph(fig4, {"ghost": ["x"]})
+
+    def test_measures_work_on_slice(self, fig4):
+        """HeteSim runs unchanged on the induced slice."""
+        sub = induced_subgraph(fig4, {"author": ["Tom", "Mary"]})
+        path = sub.schema.path("APC")
+        assert hetesim_pair(sub, path, "Tom", "KDD", normalized=False) == (
+            pytest.approx(0.5)
+        )
+
+    def test_node_order_preserved(self, fig4):
+        sub = induced_subgraph(fig4, {"author": ["Mary", "Tom"]})
+        # Original insertion order (Tom before Mary), not keep-set order.
+        assert sub.node_keys("author") == ["Tom", "Mary"]
+
+    def test_full_keep_is_identity(self, fig4):
+        sub = induced_subgraph(fig4, {})
+        assert sub.num_nodes() == fig4.num_nodes()
+        assert sub.num_edges() == fig4.num_edges()
+        np.testing.assert_allclose(
+            sub.adjacency("writes").toarray(),
+            fig4.adjacency("writes").toarray(),
+        )
+
+
+class TestRelationSubgraph:
+    def test_keeps_named_relations_only(self, fig4):
+        sub = relation_subgraph(fig4, ["writes"])
+        assert sub.num_edges("writes") == fig4.num_edges("writes")
+        assert not sub.schema.has_relation("published_in")
+
+    def test_inverse_name_resolves_to_forward(self, fig4):
+        sub = relation_subgraph(fig4, ["writes^-1"])
+        assert sub.num_edges("writes") == fig4.num_edges("writes")
+
+    def test_untouched_types_kept_by_default(self, fig4):
+        sub = relation_subgraph(fig4, ["writes"])
+        assert sub.schema.has_object_type("conference")
+        assert sub.num_nodes("conference") == 2
+
+    def test_drop_untouched_types(self, fig4):
+        sub = relation_subgraph(fig4, ["writes"], drop_untouched_types=True)
+        assert not sub.schema.has_object_type("conference")
+        assert sub.schema.has_object_type("author")
+
+    def test_unknown_relation_rejected(self, fig4):
+        with pytest.raises(SchemaError):
+            relation_subgraph(fig4, ["reads"])
+
+    def test_measures_work_on_slice(self, fig4):
+        sub = relation_subgraph(fig4, ["writes"])
+        path = sub.schema.path("APA")
+        assert hetesim_pair(sub, path, "Tom", "Tom") == pytest.approx(1.0)

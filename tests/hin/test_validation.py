@@ -1,0 +1,118 @@
+"""Unit tests for graph validation and reporting."""
+
+import pytest
+
+from repro.hin.errors import GraphError
+from repro.hin.graph import HeteroGraph
+from repro.hin.schema import NetworkSchema
+from repro.hin.validation import (
+    assert_valid,
+    graph_report,
+    validate_graph,
+)
+
+
+@pytest.fixture()
+def schema():
+    return NetworkSchema.from_spec(
+        [("author", "A"), ("paper", "P")],
+        [("writes", "author", "paper")],
+    )
+
+
+class TestValidateGraph:
+    def test_clean_graph_has_no_issues(self, fig4):
+        assert validate_graph(fig4) == []
+
+    def test_empty_type_is_error(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")  # papers stay empty
+        codes = {issue.code for issue in validate_graph(graph)}
+        assert "empty-type" in codes
+        severities = {
+            issue.severity
+            for issue in validate_graph(graph)
+            if issue.code == "empty-type"
+        }
+        assert severities == {"error"}
+
+    def test_empty_relation_is_warning(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")
+        graph.add_node("paper", "p1")
+        issues = validate_graph(graph)
+        codes = {issue.code for issue in issues}
+        assert "empty-relation" in codes
+        assert all(
+            issue.severity == "warning"
+            for issue in issues
+            if issue.code == "empty-relation"
+        )
+
+    def test_isolated_node_is_warning(self, fig4):
+        fig4.add_node("author", "lurker")
+        codes = {issue.code for issue in validate_graph(fig4)}
+        assert "isolated-nodes" in codes
+
+    def test_dangling_source_detected(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_edge("writes", "alice", "p1")
+        graph.add_node("author", "bob")
+        # bob is isolated AND a dangling writes-source.
+        codes = {issue.code for issue in validate_graph(graph)}
+        assert "dangling-sources" in codes
+
+    def test_dangling_target_detected(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_edge("writes", "alice", "p1")
+        graph.add_node("paper", "unwritten")
+        codes = {issue.code for issue in validate_graph(graph)}
+        assert "dangling-targets" in codes
+
+
+class TestGraphReport:
+    def test_counts(self, fig4):
+        report = graph_report(fig4)
+        assert report.node_counts["author"] == 3
+        assert report.edge_counts["writes"] == 6
+        assert report.isolated_nodes["author"] == 0
+        assert not report.has_errors
+
+    def test_dangling_counts(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_edge("writes", "alice", "p1")
+        graph.add_node("author", "bob")
+        report = graph_report(graph)
+        assert report.dangling_sources["writes"] == 1
+        assert report.dangling_targets["writes"] == 0
+
+    def test_summary_mentions_issues(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")
+        text = graph_report(graph).summary()
+        assert "empty-type" in text
+        assert "author: 1 nodes" in text
+
+    def test_has_errors_flag(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")
+        assert graph_report(graph).has_errors
+
+
+class TestAssertValid:
+    def test_passes_clean_graph(self, fig4):
+        assert_valid(fig4)  # should not raise
+
+    def test_warnings_do_not_raise(self, fig4):
+        fig4.add_node("author", "lurker")
+        assert_valid(fig4)  # isolated node is only a warning
+
+    def test_errors_raise(self, schema):
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")
+        with pytest.raises(GraphError):
+            assert_valid(graph)
+
+    def test_generated_networks_are_clean(self, acm, dblp):
+        assert_valid(acm.graph)
+        assert_valid(dblp.graph)

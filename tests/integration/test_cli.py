@@ -1,0 +1,174 @@
+"""Integration tests for the general relevance-search CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.hin.io import save_graph
+
+
+@pytest.fixture()
+def graph_file(fig4, tmp_path):
+    path = tmp_path / "fig4.json"
+    save_graph(fig4, path)
+    return str(path)
+
+
+class TestQuery:
+    def test_normalized_query(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1.000000" in out
+
+    def test_raw_query(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD", "--raw"]
+        )
+        assert code == 0
+        assert "0.500000" in capsys.readouterr().out
+
+    def test_unknown_object_exits_nonzero(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "ghost", "--target", "KDD"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_path_exits_nonzero(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "AXY",
+             "--source", "Tom", "--target", "KDD"]
+        )
+        assert code == 2
+
+
+class TestTopK:
+    def test_topk_output(self, graph_file, capsys):
+        code = main(
+            ["topk", graph_file, "--path", "APC", "--source", "Tom", "-k", "2"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "KDD" in lines[0]
+
+
+class TestProfile:
+    def test_profile_output(self, graph_file, capsys):
+        code = main(
+            [
+                "profile", graph_file, "--source", "Tom",
+                "--paths", "conferences=APC", "coauthors=APA", "-k", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conferences:" in out
+        assert "coauthors:" in out
+        assert "Tom" in out  # self tops the symmetric co-author path
+
+    def test_malformed_paths_item(self, graph_file, capsys):
+        code = main(
+            ["profile", graph_file, "--source", "Tom", "--paths", "APC"]
+        )
+        assert code == 2
+        assert "LABEL=PATH" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_clean_graph(self, graph_file, capsys):
+        code = main(["validate", graph_file])
+        assert code == 0
+        assert "GraphReport" in capsys.readouterr().out
+
+    def test_graph_with_errors_exits_one(self, tmp_path, capsys):
+        from repro.hin.graph import HeteroGraph
+        from repro.hin.schema import NetworkSchema
+
+        schema = NetworkSchema.from_spec(
+            [("a", "A"), ("b", "B")], [("r", "a", "b")]
+        )
+        graph = HeteroGraph(schema)
+        graph.add_node("a", "only")
+        target = tmp_path / "broken.json"
+        save_graph(graph, target)
+        assert main(["validate", str(target)]) == 1
+
+
+class TestExplain:
+    def test_explain_output(self, graph_file, capsys):
+        code = main(
+            ["explain", graph_file, "--path", "APC",
+             "--source", "Mary", "--target", "KDD"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p2" in out
+        assert "share=100.0%" in out
+
+    def test_unrelated_pair(self, graph_file, capsys):
+        code = main(
+            ["explain", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "SIGMOD"]
+        )
+        assert code == 0
+        assert "relevance is 0" in capsys.readouterr().out
+
+
+class TestAutoProfile:
+    def test_profiles_every_reachable_type(self, graph_file, capsys):
+        code = main(
+            ["autoprofile", graph_file, "--type", "author", "--key", "Tom",
+             "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Profile of author 'Tom':" in out
+        assert "paper (path AP):" in out
+        assert "conference (path APC):" in out
+
+    def test_unknown_object(self, graph_file, capsys):
+        code = main(
+            ["autoprofile", graph_file, "--type", "author", "--key", "zz"]
+        )
+        assert code == 2
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        code = main(["stats", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "writes: 6 edges" in out
+        assert "density" in out
+
+    def test_stats_with_path_estimate(self, graph_file, capsys):
+        code = main(["stats", graph_file, "--path", "APC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "path APC:" in out
+        assert "result cells" in out
+
+
+class TestPaths:
+    def test_enumerates_paths(self, graph_file, capsys):
+        code = main(
+            ["paths", graph_file, "--source", "author",
+             "--target", "conference", "--max-length", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "APC" in out
+        assert "APAPC" in out
+        assert "writes" in out
+
+    def test_unknown_type(self, graph_file):
+        code = main(
+            ["paths", graph_file, "--source", "ghost", "--target", "author"]
+        )
+        assert code == 2

@@ -1,0 +1,119 @@
+"""Failure-injection tests: corrupted inputs fail loudly and precisely.
+
+A production library's error behaviour is part of its contract: corrupted
+files, truncated stores, and mid-stream mutations must surface as typed
+errors (never silent wrong answers) with actionable messages.
+"""
+
+import json
+
+import pytest
+from scipy import sparse
+
+from repro.core.cache import PathMatrixCache
+from repro.core.engine import HeteSimEngine
+from repro.core.store import MatrixStore
+from repro.hin.errors import GraphError, ReproError
+from repro.hin.io import load_graph, save_graph
+
+
+class TestCorruptedGraphFiles:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            load_graph(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "absent.json")
+
+    def test_wrong_version_field(self, fig4, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig4, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["format_version"] = "banana"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_edge_referencing_unknown_relation(self, fig4, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig4, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["edges"]["reviews"] = [["Tom", "p1", 1.0]]
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_graph(path)
+
+    def test_negative_weight_rejected_on_load(self, fig4, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(fig4, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["edges"]["writes"][0][2] = -3.0
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+
+class TestCorruptedMatrixStore:
+    def test_index_pointing_at_missing_file(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        # Delete the payload but keep the index entry.
+        for npz in tmp_path.glob("*.npz"):
+            npz.unlink()
+        with pytest.raises(FileNotFoundError):
+            store.load(path)
+
+    def test_corrupted_index_json(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [fig4.schema.path("APC")])
+        (tmp_path / "index.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            store.stored_paths()
+
+    def test_load_into_wrong_schema_graph(self, fig4, fig5, tmp_path):
+        """A store built on one schema cannot silently load into a graph
+        whose schema lacks the stored relations."""
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [fig4.schema.path("APC")])
+        cache = PathMatrixCache(fig5)
+        with pytest.raises(ReproError):
+            store.load_into(cache)
+
+
+class TestCliErrorPaths:
+    def test_missing_graph_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(FileNotFoundError):
+            main(
+                ["query", str(tmp_path / "nope.json"), "--path", "APC",
+                 "--source", "a", "--target", "b"]
+            )
+
+
+class TestMutationDuringUse:
+    def test_engine_never_serves_stale_scores(self, fig4):
+        """Interleaved mutation and querying always reflects the latest
+        graph (the version-counter contract)."""
+        engine = HeteSimEngine(fig4)
+        assert engine.relevance("Jim", "KDD", "APC") == 0.0
+        fig4.add_edge("writes", "Jim", "p1")  # p1 is in KDD
+        assert engine.relevance("Jim", "KDD", "APC") > 0.0
+        fig4.add_edge("published_in", "p5", "KDD")
+        fig4.add_edge("writes", "Jim", "p5")
+        second = engine.relevance("Jim", "KDD", "APC")
+        assert second > 0.0
+
+    def test_pathsim_sees_latest_adjacency(self, fig4):
+        from repro.baselines.pathsim import pathsim_pair
+
+        path = fig4.schema.path("APA")
+        before = pathsim_pair(fig4, path, "Tom", "Jim")
+        assert before == 0.0
+        fig4.add_edge("writes", "Jim", "p1")
+        after = pathsim_pair(fig4, path, "Tom", "Jim")
+        assert after > 0.0

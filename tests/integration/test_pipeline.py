@@ -1,0 +1,167 @@
+"""End-to-end integration tests crossing all module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import GraphBuilder, HeteSimEngine, NetworkSchema
+from repro.baselines.pathsim import pathsim_matrix
+from repro.baselines.pcrw import pcrw_rank
+from repro.core.naive import naive_hetesim
+from repro.hin.io import load_graph, save_graph
+from repro.learning.auc import auc_score
+from repro.learning.ncut import normalized_cut
+from repro.learning.nmi import normalized_mutual_information
+
+
+class TestBuildQueryPipeline:
+    """Schema -> builder -> engine -> ranked search, in one flow."""
+
+    def test_movie_recommendation_flow(self):
+        schema = NetworkSchema.from_spec(
+            [("user", "U"), ("movie", "M"), ("genre", "G")],
+            [
+                ("watched", "user", "movie"),
+                ("has_genre", "movie", "genre"),
+            ],
+        )
+        graph = (
+            GraphBuilder(schema)
+            .edges(
+                "watched",
+                [
+                    ("ann", "matrix"), ("ann", "inception"),
+                    ("bob", "inception"), ("bob", "titanic"),
+                    ("cat", "titanic"), ("cat", "notebook"),
+                ],
+            )
+            .edges(
+                "has_genre",
+                [
+                    ("matrix", "scifi"), ("inception", "scifi"),
+                    ("titanic", "romance"), ("notebook", "romance"),
+                ],
+            )
+            .build()
+        )
+        engine = HeteSimEngine(graph)
+
+        # Different-typed relevance: ann is a sci-fi person.
+        genre_ranking = engine.top_k("ann", "UMG", k=2)
+        assert genre_ranking[0][0] == "scifi"
+        assert genre_ranking[0][1] > genre_ranking[1][1]
+
+        # Same-typed relevance through a symmetric path.
+        user_sim = engine.relevance("ann", "cat", "UMU")
+        assert user_sim < engine.relevance("ann", "bob", "UMU")
+
+        # Property 3 on the user-genre path.
+        assert engine.relevance("ann", "scifi", "UMG") == pytest.approx(
+            engine.relevance("scifi", "ann", engine.path("UMG").reverse())
+        )
+
+    def test_engine_matches_naive_on_built_graph(self):
+        schema = NetworkSchema.from_spec(
+            [("user", "U"), ("item", "I")],
+            [("bought", "user", "item")],
+        )
+        graph = (
+            GraphBuilder(schema)
+            .weighted_edges(
+                "bought",
+                [("u1", "i1", 2.0), ("u1", "i2", 1.0), ("u2", "i2", 3.0)],
+            )
+            .build()
+        )
+        engine = HeteSimEngine(graph)
+        path = engine.path("UI")
+        for user in ("u1", "u2"):
+            for item in ("i1", "i2"):
+                assert engine.relevance(user, item, path) == pytest.approx(
+                    naive_hetesim(graph, path, user, item), abs=1e-12
+                )
+
+
+class TestPersistencePipeline:
+    def test_save_query_load_query(self, acm, tmp_path):
+        """Scores computed before and after a disk round-trip agree."""
+        target = tmp_path / "acm.json"
+        save_graph(acm.graph, target)
+        reloaded = load_graph(target)
+
+        original_engine = HeteSimEngine(acm.graph)
+        reloaded_engine = HeteSimEngine(reloaded)
+        hub = acm.personas["hub_author"]
+        for spec in ("APVC", "APA"):
+            np.testing.assert_allclose(
+                original_engine.relevance_vector(hub, spec),
+                reloaded_engine.relevance_vector(hub, spec),
+                atol=1e-12,
+            )
+
+
+class TestLearningPipeline:
+    def test_cluster_dblp_conferences_from_hetesim(self, dblp):
+        engine = HeteSimEngine(dblp.graph)
+        similarity = engine.relevance_matrix("CPAPC")
+        labels = normalized_cut(similarity, 4, seed=0)
+        truth = [
+            dblp.conference_labels[c]
+            for c in dblp.graph.node_keys("conference")
+        ]
+        assert normalized_mutual_information(truth, labels) > 0.8
+
+    def test_auc_pipeline_beats_chance(self, dblp):
+        engine = HeteSimEngine(dblp.graph)
+        scores = engine.relevance_matrix("CPA")
+        graph = dblp.graph
+        authors = graph.node_keys("author")
+        conference = graph.node_keys("conference")[0]
+        area = dblp.conference_labels[conference]
+        labels = [
+            1 if dblp.author_labels[a] == area else 0 for a in authors
+        ]
+        conf_index = graph.node_index("conference", conference)
+        assert auc_score(labels, scores[conf_index]) > 0.6
+
+    def test_pathsim_and_hetesim_agree_on_shape(self, dblp):
+        """Both similarity matrices are valid NCut inputs and cluster the
+        conferences into the same partition (up to label names)."""
+        engine = HeteSimEngine(dblp.graph)
+        path = engine.path("CPAPC")
+        hetesim_labels = normalized_cut(
+            engine.relevance_matrix(path), 4, seed=0
+        )
+        pathsim_labels = normalized_cut(
+            pathsim_matrix(dblp.graph, path), 4, seed=0
+        )
+        assert normalized_mutual_information(
+            hetesim_labels, pathsim_labels
+        ) > 0.8
+
+
+class TestBaselineComparisonPipeline:
+    def test_hetesim_and_pcrw_agree_on_obvious_top1(self, acm):
+        """Both measures should put a one-conference author's conference
+        first -- the disagreement is in the subtler cases."""
+        engine = HeteSimEngine(acm.graph)
+        young = acm.personas["young_sigir"]
+        path = engine.path("APVC")
+        assert engine.top_k(young, path, k=1)[0][0] == "SIGIR"
+        assert pcrw_rank(acm.graph, path, young)[0][0] == "SIGIR"
+
+
+class TestAcmConferenceClustering:
+    def test_cvpapvc_similarity_recovers_areas(self, acm_full):
+        """Clustering the 14 conferences by shared-author similarity
+        recovers the planted research areas (the Table 2 CVPAPVC
+        similarity used as a clustering signal)."""
+        from repro.learning.ncut import normalized_cut
+        from repro.learning.nmi import normalized_mutual_information
+
+        engine = HeteSimEngine(acm_full.graph)
+        similarity = engine.relevance_matrix("CVPAPVC")
+        conferences = acm_full.graph.node_keys("conference")
+        areas = sorted({acm_full.area_of[c] for c in conferences})
+        truth = [areas.index(acm_full.area_of[c]) for c in conferences]
+        labels = normalized_cut(similarity, len(areas), seed=0)
+        assert normalized_mutual_information(truth, labels) > 0.6

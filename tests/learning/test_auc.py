@@ -1,0 +1,60 @@
+"""Unit tests for the AUC metric."""
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.auc import auc_score
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        assert auc_score([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1]) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        assert auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(0.0)
+
+    def test_random_ranking_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_all_ties_is_half(self):
+        assert auc_score([1, 0, 1, 0], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_partial_ties_use_midrank(self):
+        # positives: 0.9, 0.5; negatives: 0.5, 0.1.
+        # Pairs: (0.9>0.5)=1, (0.9>0.1)=1, (0.5=0.5)=0.5, (0.5>0.1)=1.
+        assert auc_score([1, 1, 0, 0], [0.9, 0.5, 0.5, 0.1]) == pytest.approx(
+            3.5 / 4
+        )
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=60)
+        labels[0], labels[1] = 1, 0  # ensure both classes
+        scores = rng.random(60)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = sum(
+            1.0 if p > n else (0.5 if p == n else 0.0)
+            for p in pos
+            for n in neg
+        )
+        expected = wins / (len(pos) * len(neg))
+        assert auc_score(labels, scores) == pytest.approx(expected)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(QueryError):
+            auc_score([1, 1], [0.5, 0.6])
+        with pytest.raises(QueryError):
+            auc_score([0, 0], [0.5, 0.6])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(QueryError):
+            auc_score([0, 1, 2], [0.1, 0.2, 0.3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            auc_score([0, 1], [0.1, 0.2, 0.3])

@@ -1,0 +1,82 @@
+"""Unit tests for cross-validated path-weight learning."""
+
+import math
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.hin.errors import QueryError
+from repro.learning.crossval import cross_validate_path_weights
+
+
+@pytest.fixture(scope="module")
+def acm_setup(acm):
+    engine = HeteSimEngine(acm.graph)
+    # Labelled author-conference pairs: stars belong to their conference,
+    # and do not belong to a systems/theory conference far away.
+    pairs = []
+    for conf in ("KDD", "SIGMOD", "SIGIR", "SODA", "STOC", "SOSP",
+                 "VLDB", "CIKM"):
+        pairs.append((f"{conf}-star", conf, 1))
+        other = "SOSP" if conf != "SOSP" else "KDD"
+        pairs.append((f"{conf}-star", other, 0))
+    return engine, pairs
+
+
+class TestCrossValidation:
+    def test_informative_candidates_score_high(self, acm_setup):
+        engine, pairs = acm_setup
+        result = cross_validate_path_weights(
+            engine, ["APVC"], pairs, folds=4, seed=0
+        )
+        assert result.mean_auc > 0.8
+        assert len(result.fold_aucs) >= 2
+
+    def test_mean_weights_normalised(self, acm_setup):
+        engine, pairs = acm_setup
+        result = cross_validate_path_weights(
+            engine, ["APVC", "APVCVPAPVC"], pairs, folds=4, seed=0
+        )
+        assert sum(result.mean_weights.values()) == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self, acm_setup):
+        engine, pairs = acm_setup
+        first = cross_validate_path_weights(
+            engine, ["APVC"], pairs, folds=3, seed=5
+        )
+        second = cross_validate_path_weights(
+            engine, ["APVC"], pairs, folds=3, seed=5
+        )
+        assert first.fold_aucs == second.fold_aucs
+
+    def test_different_seed_different_split(self, acm_setup):
+        engine, pairs = acm_setup
+        first = cross_validate_path_weights(
+            engine, ["APVC"], pairs, folds=4, seed=1
+        )
+        second = cross_validate_path_weights(
+            engine, ["APVC"], pairs, folds=4, seed=2
+        )
+        # Splits differ; fold AUCs almost surely differ somewhere.
+        assert first.fold_aucs != second.fold_aucs or (
+            first.mean_auc == second.mean_auc
+        )
+
+    def test_single_class_folds_skipped(self, fig4):
+        engine = HeteSimEngine(fig4)
+        # All-positive labels: every fold is single-class, so no AUCs.
+        pairs = [("Tom", "KDD", 1), ("Jim", "SIGMOD", 1)]
+        result = cross_validate_path_weights(
+            engine, ["APC"], pairs, folds=2, seed=0
+        )
+        assert result.fold_aucs == []
+        assert math.isnan(result.mean_auc)
+
+    def test_bad_folds(self, acm_setup):
+        engine, pairs = acm_setup
+        with pytest.raises(QueryError):
+            cross_validate_path_weights(engine, ["APVC"], pairs, folds=1)
+        with pytest.raises(QueryError):
+            cross_validate_path_weights(
+                engine, ["APVC"], pairs[:2], folds=5
+            )

@@ -1,0 +1,65 @@
+"""Unit tests for the built-in k-means."""
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.kmeans import kmeans
+
+
+def blobs(seed=0, n=30, separation=10.0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [separation, 0.0], [0.0, separation]])
+    points = np.concatenate(
+        [center + rng.normal(scale=0.5, size=(n, 2)) for center in centers]
+    )
+    truth = np.repeat(np.arange(3), n)
+    return points, truth
+
+
+class TestKmeans:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = blobs()
+        labels = kmeans(points, 3, seed=0)
+        # Same-cluster points must share labels (permutation invariant).
+        for cluster in range(3):
+            members = labels[truth == cluster]
+            assert len(set(members.tolist())) == 1
+
+    def test_deterministic_for_fixed_seed(self):
+        points, _ = blobs(seed=1)
+        first = kmeans(points, 3, seed=42)
+        second = kmeans(points, 3, seed=42)
+        np.testing.assert_array_equal(first, second)
+
+    def test_labels_in_range(self):
+        points, _ = blobs(seed=2)
+        labels = kmeans(points, 4, seed=0)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+
+    def test_k_equals_one(self):
+        points, _ = blobs()
+        labels = kmeans(points, 1, seed=0)
+        assert set(labels.tolist()) == {0}
+
+    def test_k_equals_n(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        labels = kmeans(points, 3, seed=0)
+        assert len(set(labels.tolist())) == 3
+
+    def test_identical_points(self):
+        points = np.zeros((10, 2))
+        labels = kmeans(points, 2, seed=0)
+        assert labels.shape == (10,)
+
+    def test_bad_k_rejected(self):
+        points, _ = blobs()
+        with pytest.raises(QueryError):
+            kmeans(points, 0)
+        with pytest.raises(QueryError):
+            kmeans(points, len(points) + 1)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(QueryError):
+            kmeans(np.zeros(5), 2)

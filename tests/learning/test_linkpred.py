@@ -1,0 +1,127 @@
+"""Unit tests for the link-prediction evaluation harness."""
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.movies import make_movie_network
+from repro.hin.errors import QueryError
+from repro.learning.linkpred import (
+    evaluate_link_prediction,
+    holdout_split,
+)
+
+
+@pytest.fixture(scope="module")
+def movies():
+    return make_movie_network(
+        seed=0, users_per_genre=10, movies_per_genre=8, watches_per_user=8
+    )
+
+
+class TestHoldoutSplit:
+    def test_edge_counts_partition(self, movies):
+        # The split operates on *distinct* edges (accumulated adjacency
+        # cells), not raw insertions -- parallel watches collapse.
+        graph = movies.graph
+        total = graph.adjacency("watched").nnz
+        training, held = holdout_split(graph, "watched", 0.25, seed=0)
+        assert len(held) == round(0.25 * total)
+        assert training.adjacency("watched").nnz + len(held) == total
+
+    def test_other_relations_untouched(self, movies):
+        graph = movies.graph
+        training, _ = holdout_split(graph, "watched", 0.25, seed=0)
+        assert training.num_edges("has_genre") == graph.num_edges(
+            "has_genre"
+        )
+
+    def test_all_nodes_preserved(self, movies):
+        graph = movies.graph
+        training, _ = holdout_split(graph, "watched", 0.25, seed=0)
+        assert training.num_nodes() == graph.num_nodes()
+
+    def test_held_edges_absent_from_training(self, movies):
+        graph = movies.graph
+        training, held = holdout_split(graph, "watched", 0.25, seed=0)
+        # A held-out distinct edge is removed entirely from training.
+        kept = training.adjacency("watched")
+        for user, movie in held[:20]:
+            i = graph.node_index("user", user)
+            j = graph.node_index("movie", movie)
+            assert kept[i, j] == 0
+
+    def test_deterministic_per_seed(self, movies):
+        graph = movies.graph
+        _, first = holdout_split(graph, "watched", 0.2, seed=4)
+        _, second = holdout_split(graph, "watched", 0.2, seed=4)
+        assert first == second
+
+    def test_bad_fraction(self, movies):
+        with pytest.raises(QueryError):
+            holdout_split(movies.graph, "watched", 0.0)
+        with pytest.raises(QueryError):
+            holdout_split(movies.graph, "watched", 1.0)
+
+
+class TestEvaluateLinkPrediction:
+    def test_hetesim_beats_chance(self, movies):
+        result = evaluate_link_prediction(
+            movies.graph, "watched", _hetesim_umgm_scorer,
+            holdout_fraction=0.2, seed=0,
+        )
+        assert result.auc > 0.6
+        assert result.num_positives > 0
+        assert result.num_negatives == result.num_positives
+
+    def test_random_scorer_near_chance(self, movies):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+
+        def random_scorer(training, user, movie):
+            return float(rng.random())
+
+        result = evaluate_link_prediction(
+            movies.graph, "watched", random_scorer,
+            holdout_fraction=0.2, seed=0,
+        )
+        assert 0.3 < result.auc < 0.7
+
+    def test_hetesim_beats_random_scorer(self, movies):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        hetesim_result = evaluate_link_prediction(
+            movies.graph, "watched", _hetesim_umgm_scorer,
+            holdout_fraction=0.2, seed=3,
+        )
+        random_result = evaluate_link_prediction(
+            movies.graph, "watched",
+            lambda g, u, m: float(rng.random()),
+            holdout_fraction=0.2, seed=3,
+        )
+        assert hetesim_result.auc > random_result.auc
+
+    def test_negatives_multiplier(self, movies):
+        result = evaluate_link_prediction(
+            movies.graph, "watched", _hetesim_umgm_scorer,
+            holdout_fraction=0.1, negatives_per_positive=2, seed=0,
+        )
+        assert result.num_negatives == 2 * result.num_positives
+
+    def test_bad_multiplier(self, movies):
+        with pytest.raises(QueryError):
+            evaluate_link_prediction(
+                movies.graph, "watched", _hetesim_umgm_scorer,
+                negatives_per_positive=0,
+            )
+
+_ENGINES = {}
+
+
+def _hetesim_umgm_scorer(training, user, movie):
+    """HeteSim over the genre path, with one engine per training graph."""
+    key = id(training)
+    if key not in _ENGINES:
+        _ENGINES[key] = HeteSimEngine(training)
+    return _ENGINES[key].relevance(user, movie, "UMGM")

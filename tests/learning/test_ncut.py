@@ -1,0 +1,119 @@
+"""Unit tests for Normalized-Cut spectral clustering."""
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.ncut import normalized_cut, spectral_embedding
+from repro.learning.nmi import normalized_mutual_information
+
+
+def block_similarity(sizes=(10, 10, 10), within=0.9, between=0.05, seed=0):
+    """A noisy block-diagonal similarity matrix with known clusters."""
+    rng = np.random.default_rng(seed)
+    n = sum(sizes)
+    truth = np.repeat(np.arange(len(sizes)), sizes)
+    base = np.where(truth[:, None] == truth[None, :], within, between)
+    noise = rng.normal(scale=0.02, size=(n, n))
+    similarity = np.clip(base + (noise + noise.T) / 2, 0, 1)
+    return similarity, truth
+
+
+class TestSpectralEmbedding:
+    def test_shape(self):
+        similarity, _ = block_similarity()
+        embedding = spectral_embedding(similarity, 3)
+        assert embedding.shape == (30, 3)
+
+    def test_rows_unit_norm(self):
+        similarity, _ = block_similarity()
+        embedding = spectral_embedding(similarity, 3)
+        norms = np.linalg.norm(embedding, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_disconnected_rows_produce_no_nans(self):
+        similarity = np.zeros((4, 4))
+        similarity[:2, :2] = 1.0
+        embedding = spectral_embedding(similarity, 2)
+        assert not np.isnan(embedding).any()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(QueryError):
+            spectral_embedding(np.zeros((3, 4)), 2)
+
+    def test_bad_k_rejected(self):
+        similarity, _ = block_similarity()
+        with pytest.raises(QueryError):
+            spectral_embedding(similarity, 0)
+        with pytest.raises(QueryError):
+            spectral_embedding(similarity, 31)
+
+
+class TestNormalizedCut:
+    def test_recovers_blocks(self):
+        similarity, truth = block_similarity()
+        labels = normalized_cut(similarity, 3, seed=0)
+        assert normalized_mutual_information(truth, labels) == pytest.approx(
+            1.0
+        )
+
+    def test_deterministic_per_seed(self):
+        similarity, _ = block_similarity(seed=1)
+        first = normalized_cut(similarity, 3, seed=5)
+        second = normalized_cut(similarity, 3, seed=5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_handles_asymmetric_input(self):
+        similarity, truth = block_similarity()
+        skewed = similarity.copy()
+        skewed[0, 1] += 0.2  # symmetrised internally
+        labels = normalized_cut(skewed, 3, seed=0)
+        assert normalized_mutual_information(truth, labels) > 0.9
+
+    def test_weak_structure_still_returns_k_groups(self):
+        rng = np.random.default_rng(0)
+        similarity = rng.random((20, 20))
+        labels = normalized_cut(similarity, 4, seed=0)
+        assert labels.shape == (20,)
+        assert set(labels.tolist()) <= {0, 1, 2, 3}
+
+
+class TestNcutValue:
+    def test_perfect_partition_scores_low(self):
+        from repro.learning.ncut import ncut_value
+
+        similarity, truth = block_similarity(between=0.0)
+        good = ncut_value(similarity, truth)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 3, size=len(truth))
+        bad = ncut_value(similarity, random_labels)
+        assert good < bad
+
+    def test_single_cluster_has_zero_cut(self):
+        from repro.learning.ncut import ncut_value
+
+        similarity, _ = block_similarity()
+        labels = np.zeros(similarity.shape[0], dtype=int)
+        assert ncut_value(similarity, labels) == 0.0
+
+    def test_agrees_with_ncut_choice(self):
+        """The partition normalized_cut returns scores no worse than a
+        random relabelling of the same sizes."""
+        from repro.learning.ncut import ncut_value
+
+        similarity, _ = block_similarity(seed=3)
+        chosen = normalized_cut(similarity, 3, seed=0)
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(chosen)
+        assert ncut_value(similarity, chosen) <= ncut_value(
+            similarity, shuffled
+        ) + 1e-9
+
+    def test_validation(self):
+        from repro.hin.errors import QueryError
+        from repro.learning.ncut import ncut_value
+
+        with pytest.raises(QueryError):
+            ncut_value(np.zeros((2, 3)), [0, 1])
+        with pytest.raises(QueryError):
+            ncut_value(np.zeros((2, 2)), [0])

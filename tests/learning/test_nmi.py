@@ -1,0 +1,69 @@
+"""Unit tests for Normalized Mutual Information."""
+
+import numpy as np
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.nmi import contingency_table, normalized_mutual_information
+
+
+class TestContingencyTable:
+    def test_basic_counts(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_relabelled_inputs(self):
+        table = contingency_table([5, 5, 9], ["x", "x", "y"])
+        np.testing.assert_array_equal(table, [[2, 0], [0, 1]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(QueryError):
+            contingency_table([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            contingency_table([], [])
+
+
+class TestNmi:
+    def test_identical_labelings(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 1, 2, 2, 0, 1]
+        b = [0, 1, 1, 1, 2, 0, 0, 2]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=50)
+            b = rng.integers(0, 3, size=50)
+            nmi = normalized_mutual_information(a, b)
+            assert -1e-12 <= nmi <= 1 + 1e-12
+
+    def test_both_constant_is_one(self):
+        assert normalized_mutual_information([1, 1, 1], [7, 7, 7]) == 1.0
+
+    def test_one_constant_is_zero(self):
+        assert normalized_mutual_information([1, 1, 1], [0, 1, 2]) == 0.0
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 0]
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 < nmi < 1.0

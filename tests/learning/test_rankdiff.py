@@ -1,0 +1,60 @@
+"""Unit tests for the average-rank-difference metric (Fig. 6)."""
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.rankdiff import average_rank_difference, rank_positions
+
+
+class TestRankPositions:
+    def test_one_based_positions(self):
+        assert rank_positions(["a", "b", "c"]) == {"a": 1, "b": 2, "c": 3}
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            rank_positions(["a", "a"])
+
+
+class TestAverageRankDifference:
+    def test_identical_rankings_give_zero(self):
+        ranking = ["a", "b", "c", "d"]
+        assert average_rank_difference(ranking, ranking) == 0.0
+
+    def test_swap_of_adjacent_items(self):
+        ground = ["a", "b", "c"]
+        measured = ["b", "a", "c"]
+        # |1-2| + |2-1| + |3-3| = 2; /3.
+        assert average_rank_difference(ground, measured) == pytest.approx(2 / 3)
+
+    def test_reversed_ranking(self):
+        ground = ["a", "b", "c", "d"]
+        measured = ["d", "c", "b", "a"]
+        # Differences: 3, 1, 1, 3 -> mean 2.
+        assert average_rank_difference(ground, measured) == pytest.approx(2.0)
+
+    def test_top_n_restricts_ground_truth(self):
+        ground = ["a", "b", "c", "d"]
+        measured = ["a", "b", "d", "c"]
+        assert average_rank_difference(ground, measured, top_n=2) == 0.0
+
+    def test_missing_items_get_worst_rank(self):
+        ground = ["a", "b"]
+        measured = ["b"]
+        # a missing -> rank len(measured)+1 = 2; |1-2| = 1. b: |2-1| = 1.
+        assert average_rank_difference(ground, measured) == pytest.approx(1.0)
+
+    def test_empty_ground_truth_rejected(self):
+        with pytest.raises(QueryError):
+            average_rank_difference([], ["a"])
+
+    def test_bad_top_n_rejected(self):
+        with pytest.raises(QueryError):
+            average_rank_difference(["a"], ["a"], top_n=0)
+
+    def test_better_ranking_scores_lower(self):
+        ground = [f"x{i}" for i in range(20)]
+        close = ground[:5] + ground[6:] + [ground[5]]
+        far = list(reversed(ground))
+        assert average_rank_difference(ground, close) < average_rank_difference(
+            ground, far
+        )

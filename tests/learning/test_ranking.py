@@ -1,0 +1,118 @@
+"""Unit tests for the ranked-retrieval metrics."""
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.ranking import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+RANKING = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionAtK:
+    def test_all_relevant(self):
+        assert precision_at_k(RANKING, {"a", "b"}, k=2) == 1.0
+
+    def test_none_relevant(self):
+        assert precision_at_k(RANKING, {"z"}, k=3) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k(RANKING, {"a", "c"}, k=4) == pytest.approx(0.5)
+
+    def test_k_beyond_ranking(self):
+        # Missing tail counts against precision (denominator is k).
+        assert precision_at_k(["a"], {"a"}, k=2) == pytest.approx(0.5)
+
+    def test_graded_relevance_counts_positive_gain(self):
+        assert precision_at_k(RANKING, {"a": 3.0, "b": 0.0}, k=2) == 0.5
+
+    def test_bad_inputs(self):
+        with pytest.raises(QueryError):
+            precision_at_k(RANKING, {"a"}, k=0)
+        with pytest.raises(QueryError):
+            precision_at_k([], {"a"}, k=1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b", "z"], {"a", "b"}) == 1.0
+
+    def test_worst_placement(self):
+        ap = average_precision(["x", "y", "a"], {"a"})
+        assert ap == pytest.approx(1 / 3)
+
+    def test_known_value(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2.
+        ap = average_precision(["a", "x", "b"], {"a", "b"})
+        assert ap == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_missing_relevant_items_penalised(self):
+        found = average_precision(["a"], {"a"})
+        missing = average_precision(["a"], {"a", "z"})
+        assert missing < found
+
+    def test_empty_relevant_set(self):
+        assert average_precision(RANKING, set()) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(RANKING, {"a"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(RANKING, {"c"}) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert reciprocal_rank(RANKING, {"z"}) == 0.0
+
+    def test_graded(self):
+        assert reciprocal_rank(RANKING, {"b": 2.0}) == pytest.approx(0.5)
+
+
+class TestNdcg:
+    def test_perfect_binary_ranking(self):
+        assert ndcg_at_k(["a", "b", "x"], {"a", "b"}, k=3) == pytest.approx(1.0)
+
+    def test_reversed_worse_than_perfect(self):
+        good = ndcg_at_k(["a", "x"], {"a"}, k=2)
+        bad = ndcg_at_k(["x", "a"], {"a"}, k=2)
+        assert good > bad > 0
+
+    def test_graded_order_matters(self):
+        graded = {"high": 3.0, "low": 1.0}
+        best = ndcg_at_k(["high", "low"], graded, k=2)
+        worst = ndcg_at_k(["low", "high"], graded, k=2)
+        assert best == pytest.approx(1.0)
+        assert worst < best
+
+    def test_nothing_relevant(self):
+        assert ndcg_at_k(RANKING, set(), k=3) == 0.0
+
+    def test_range(self):
+        value = ndcg_at_k(["x", "a", "y", "b"], {"a", "b"}, k=4)
+        assert 0 < value < 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(QueryError):
+            ndcg_at_k(RANKING, {"a"}, k=0)
+        with pytest.raises(QueryError):
+            ndcg_at_k([], {"a"}, k=1)
+
+
+class TestOnHetesimRankings:
+    def test_metrics_on_real_ranking(self, acm):
+        """HeteSim's APVC ranking of the hub author scores near-perfectly
+        against his planted home conferences."""
+        from repro.core.engine import HeteSimEngine
+
+        engine = HeteSimEngine(acm.graph)
+        hub = acm.personas["hub_author"]
+        ranking = [k for k, _ in engine.rank(hub, "APVC")]
+        relevant = {"KDD", "SIGMOD", "VLDB"}
+        assert precision_at_k(ranking, relevant, k=3) == 1.0
+        assert reciprocal_rank(ranking, {"KDD"}) == 1.0
+        assert ndcg_at_k(ranking, relevant, k=5) > 0.9

@@ -1,0 +1,80 @@
+"""Unit tests for paired significance testing."""
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.learning.significance import sign_test, wilcoxon_test
+
+
+class TestSignTest:
+    def test_unanimous_wins_significant(self):
+        first = [0.9] * 10
+        second = [0.8] * 10
+        result = sign_test(first, second)
+        assert result.wins == 10 and result.losses == 0
+        assert result.significant()
+
+    def test_balanced_not_significant(self):
+        first = [1, 0, 1, 0, 1, 0]
+        second = [0, 1, 0, 1, 0, 1]
+        result = sign_test(first, second)
+        assert result.wins == result.losses == 3
+        assert not result.significant()
+
+    def test_ties_dropped(self):
+        result = sign_test([1, 1, 2], [1, 1, 1])
+        assert result.ties == 2
+        assert result.wins == 1
+
+    def test_all_ties_p_one(self):
+        result = sign_test([1, 1], [1, 1])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_small_sample_not_significant(self):
+        """3 wins of 3 gives p = 0.25 two-sided: not significant."""
+        result = sign_test([2, 2, 2], [1, 1, 1])
+        assert result.p_value == pytest.approx(0.25)
+        assert not result.significant()
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            sign_test([1], [1, 2])
+        with pytest.raises(QueryError):
+            sign_test([], [])
+
+
+class TestWilcoxon:
+    def test_consistent_margin_significant(self):
+        first = [0.9, 0.85, 0.8, 0.88, 0.92, 0.87, 0.83, 0.9]
+        second = [value - 0.01 for value in first]
+        result = wilcoxon_test(first, second)
+        assert result.wins == len(first)
+        assert result.significant()
+
+    def test_symmetric_noise_not_significant(self):
+        first = [1.0, 2.0, 3.0, 4.0]
+        second = [2.0, 1.0, 4.0, 3.0]
+        result = wilcoxon_test(first, second)
+        assert not result.significant()
+
+    def test_all_ties_p_one(self):
+        result = wilcoxon_test([5, 5, 5], [5, 5, 5])
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            wilcoxon_test([1, 2], [1])
+
+
+class TestOnExperimentData:
+    def test_table5_margin_is_consistent(self):
+        """The 9/9 AUC wins of Table 5 reach sign-test significance."""
+        from repro.experiments.registry import get_experiment
+
+        records = get_experiment("table5")(seed=0).data["records"]
+        hetesim = [r["hetesim"] for r in records]
+        pcrw = [r["pcrw"] for r in records]
+        result = sign_test(hetesim, pcrw)
+        assert result.wins == 9
+        assert result.significant()

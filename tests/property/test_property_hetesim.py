@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the HeteSim measure.
+
+Random bipartite and tripartite networks are generated from drawn edge
+sets; the invariants checked are the paper's Properties 3-4 plus
+agreement between the matrix and naive implementations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hetesim import hetesim_matrix, hetesim_pair
+from repro.core.naive import naive_hetesim
+from repro.datasets.schemas import bipartite_schema, toy_apc_schema
+from repro.hin.graph import HeteroGraph
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+MAX_N = 6
+
+
+@st.composite
+def bipartite_graphs(draw):
+    """A random bipartite graph with 1..MAX_N nodes per side."""
+    n_a = draw(st.integers(1, MAX_N))
+    n_b = draw(st.integers(1, MAX_N))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_a - 1), st.integers(0, n_b - 1)),
+            min_size=1,
+            max_size=n_a * n_b,
+        )
+    )
+    graph = HeteroGraph(bipartite_schema())
+    graph.add_nodes("a", (f"a{i}" for i in range(n_a)))
+    graph.add_nodes("b", (f"b{i}" for i in range(n_b)))
+    for i, j in edges:
+        graph.add_edge("r", f"a{i}", f"b{j}")
+    return graph
+
+
+@st.composite
+def tripartite_graphs(draw):
+    """A random author-paper-conference graph."""
+    n_a = draw(st.integers(1, MAX_N))
+    n_p = draw(st.integers(1, MAX_N))
+    n_c = draw(st.integers(1, 3))
+    writes = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_a - 1), st.integers(0, n_p - 1)),
+            min_size=1,
+            max_size=n_a * n_p,
+        )
+    )
+    published = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_p - 1), st.integers(0, n_c - 1)),
+            min_size=1,
+            max_size=n_p * n_c,
+        )
+    )
+    graph = HeteroGraph(toy_apc_schema())
+    graph.add_nodes("author", (f"a{i}" for i in range(n_a)))
+    graph.add_nodes("paper", (f"p{i}" for i in range(n_p)))
+    graph.add_nodes("conference", (f"c{i}" for i in range(n_c)))
+    for i, j in writes:
+        graph.add_edge("writes", f"a{i}", f"p{j}")
+    for i, j in published:
+        graph.add_edge("published_in", f"p{i}", f"c{j}")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+class TestBipartiteInvariants:
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_on_atomic_relation(self, graph):
+        """Property 3 on the odd (length-1) path AB."""
+        path = graph.schema.path("AB")
+        forward = hetesim_matrix(graph, path)
+        backward = hetesim_matrix(graph, path.reverse())
+        np.testing.assert_allclose(forward, backward.T, atol=1e-10)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_unit_interval(self, graph):
+        """Property 4 on both AB and the even path ABA."""
+        for spec in ("AB", "ABA"):
+            matrix = hetesim_matrix(graph, graph.schema.path(spec))
+            assert (matrix >= -1e-12).all()
+            assert (matrix <= 1 + 1e-9).all()
+
+    @given(bipartite_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_self_max_on_symmetric_path(self, graph):
+        matrix = hetesim_matrix(graph, graph.schema.path("ABA"))
+        diagonal = np.diag(matrix)
+        assert ((np.isclose(diagonal, 1.0)) | (diagonal == 0.0)).all()
+
+    @given(bipartite_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_matches_naive(self, graph):
+        path = graph.schema.path("AB")
+        for s in graph.node_keys("a")[:3]:
+            for t in graph.node_keys("b")[:3]:
+                fast = hetesim_pair(graph, path, s, t)
+                slow = naive_hetesim(graph, path, s, t)
+                assert fast == pytest.approx(slow, abs=1e-10)
+
+    @given(bipartite_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_no_nans(self, graph):
+        for spec in ("AB", "ABA", "BAB"):
+            matrix = hetesim_matrix(graph, graph.schema.path(spec))
+            assert not np.isnan(matrix).any()
+
+
+class TestTripartiteInvariants:
+    @given(tripartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_even_and_odd(self, graph):
+        for spec in ("APC", "APA", "AP"):
+            path = graph.schema.path(spec)
+            forward = hetesim_matrix(graph, path)
+            backward = hetesim_matrix(graph, path.reverse())
+            np.testing.assert_allclose(forward, backward.T, atol=1e-10)
+
+    @given(tripartite_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_range_and_no_nans(self, graph):
+        for spec in ("APC", "CPA", "APCPA"):
+            matrix = hetesim_matrix(graph, graph.schema.path(spec))
+            assert not np.isnan(matrix).any()
+            assert (matrix >= -1e-12).all()
+            assert (matrix <= 1 + 1e-9).all()
+
+    @given(tripartite_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_matrix_matches_naive_on_even_path(self, graph):
+        path = graph.schema.path("APC")
+        for s in graph.node_keys("author")[:2]:
+            for t in graph.node_keys("conference")[:2]:
+                fast = hetesim_pair(graph, path, s, t)
+                slow = naive_hetesim(graph, path, s, t)
+                assert fast == pytest.approx(slow, abs=1e-10)

@@ -1,0 +1,132 @@
+"""Property-based tests for search, pruning, multi-path, and the store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import HeteSimEngine
+from repro.core.multipath import MultiPathHeteSim
+from repro.core.pruning import pruned_top_k
+from repro.datasets.schemas import toy_apc_schema
+from repro.hin.graph import HeteroGraph
+
+MAX_N = 6
+
+
+@st.composite
+def apc_graphs(draw):
+    """A random author-paper-conference graph with no isolated papers."""
+    n_a = draw(st.integers(2, MAX_N))
+    n_p = draw(st.integers(2, MAX_N))
+    n_c = draw(st.integers(2, 4))
+    writes = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_a - 1), st.integers(0, n_p - 1)),
+            min_size=2,
+            max_size=n_a * n_p,
+        )
+    )
+    published = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_p - 1), st.integers(0, n_c - 1)),
+            min_size=2,
+            max_size=n_p * n_c,
+        )
+    )
+    graph = HeteroGraph(toy_apc_schema())
+    graph.add_nodes("author", (f"a{i}" for i in range(n_a)))
+    graph.add_nodes("paper", (f"p{i}" for i in range(n_p)))
+    graph.add_nodes("conference", (f"c{i}" for i in range(n_c)))
+    for i, j in writes:
+        graph.add_edge("writes", f"a{i}", f"p{j}")
+    for i, j in published:
+        graph.add_edge("published_in", f"p{i}", f"c{j}")
+    return graph
+
+
+class TestPruningProperties:
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_mode_matches_engine(self, graph):
+        """mass_tolerance=0 must reproduce the engine ranking exactly."""
+        engine = HeteSimEngine(graph)
+        path = graph.schema.path("APC")
+        for source in graph.node_keys("author")[:2]:
+            pruned = pruned_top_k(graph, path, source, k=4)
+            exact = engine.top_k(source, path, k=4)
+            assert pruned.is_exact
+            assert [k for k, _ in pruned.ranking] == [k for k, _ in exact]
+            for (_, a), (_, b) in zip(pruned.ranking, exact):
+                assert a == pytest.approx(b, abs=1e-10)
+
+    @given(apc_graphs(), st.floats(0.0, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_dropped_mass_stays_under_tolerance(self, graph, tolerance):
+        path = graph.schema.path("APC")
+        source = graph.node_keys("author")[0]
+        result = pruned_top_k(
+            graph, path, source, k=3, mass_tolerance=tolerance
+        )
+        assert 0 <= result.dropped_mass <= tolerance
+
+    @given(apc_graphs(), st.floats(0.01, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_raw_error_bounded(self, graph, tolerance):
+        path = graph.schema.path("APC")
+        source = graph.node_keys("author")[0]
+        exact = dict(
+            pruned_top_k(
+                graph, path, source, k=10, normalized=False
+            ).ranking
+        )
+        approx = pruned_top_k(
+            graph, path, source, k=10, normalized=False,
+            mass_tolerance=tolerance,
+        )
+        for key, score in approx.ranking:
+            assert abs(score - exact[key]) <= approx.dropped_mass + 1e-10
+
+
+class TestMultiPathProperties:
+    @given(apc_graphs(), st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_combination_between_components(self, graph, weight):
+        """A convex combination lies between the per-path scores."""
+        engine = HeteSimEngine(graph)
+        multi = MultiPathHeteSim(
+            engine, {"APC": weight, "APAPC": 1.0 - weight}
+        )
+        source = graph.node_keys("author")[0]
+        target = graph.node_keys("conference")[0]
+        combined = multi.relevance(source, target)
+        first = engine.relevance(source, target, "APC")
+        second = engine.relevance(source, target, "APAPC")
+        assert min(first, second) - 1e-12 <= combined <= max(
+            first, second
+        ) + 1e-12
+
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_in_unit_interval(self, graph):
+        engine = HeteSimEngine(graph)
+        multi = MultiPathHeteSim(engine, {"APC": 1.0, "APAPC": 1.0})
+        matrix = multi.relevance_matrix()
+        assert (matrix >= -1e-12).all() and (matrix <= 1 + 1e-9).all()
+
+
+class TestStoreProperties:
+    @given(apc_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_matrix(self, tmp_path_factory, graph):
+        from repro.core.store import MatrixStore
+        from repro.hin.matrices import reachable_probability_matrix
+
+        directory = tmp_path_factory.mktemp("store")
+        store = MatrixStore(directory)
+        path = graph.schema.path("APC")
+        store.save(graph, [path])
+        np.testing.assert_allclose(
+            store.load(path).toarray(),
+            reachable_probability_matrix(graph, path).toarray(),
+            atol=1e-12,
+        )

@@ -1,0 +1,29 @@
+"""Run the executable doctests embedded in module/class docstrings.
+
+Most docstring examples are marked ``# doctest: +SKIP`` (they need a
+pre-built graph); the ones below are self-contained and double as
+regression tests for the documented behaviour.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.hin.graph
+import repro.hin.schema
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.hin.schema, repro.hin.graph],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert results.attempted > 0, (
+        f"{module.__name__} was expected to carry runnable doctests"
+    )

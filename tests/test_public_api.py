@@ -1,0 +1,92 @@
+"""Public-API hygiene: exports resolve, everything public is documented.
+
+These tests keep the packaging honest: every name in an ``__all__``
+actually exists, every public module/class/function carries a docstring,
+and the version marker stays consistent.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.hin",
+    "repro.core",
+    "repro.baselines",
+    "repro.learning",
+    "repro.datasets",
+    "repro.experiments",
+]
+
+
+def _all_modules():
+    names = set(PACKAGES)
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if not hasattr(package, "__path__"):
+            continue
+        for info in pkgutil.iter_modules(package.__path__):
+            names.add(f"{package_name}.{info.name}")
+    # CLI module lives at top level.
+    names.add("repro.cli")
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must define __all__"
+    for name in exported:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name!r} but it is missing"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_documented(package_name):
+    """Every exported class/function has a docstring; every public method
+    of exported classes does too."""
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        item = getattr(package, name)
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        assert inspect.getdoc(item), f"{package_name}.{name} undocumented"
+        if inspect.isclass(item):
+            for attr_name, attr in vars(item).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr):
+                    assert inspect.getdoc(attr), (
+                        f"{package_name}.{name}.{attr_name} undocumented"
+                    )
+
+
+def test_version_marker():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_base_error_catches_everything():
+    """Every library error type derives from ReproError."""
+    from repro.hin.errors import (
+        GraphError,
+        PathError,
+        QueryError,
+        ReproError,
+        SchemaError,
+    )
+
+    for error_type in (SchemaError, GraphError, PathError, QueryError):
+        assert issubclass(error_type, ReproError)
