@@ -13,11 +13,12 @@ different-typed endpoint pairs -- the restriction the paper's Tables 4 and
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from ..core.backend import materialise
 from ..hin.errors import PathError, QueryError
 from ..hin.graph import HeteroGraph
 from ..hin.metapath import MetaPath
@@ -34,13 +35,16 @@ def path_count_matrix(
     graph: HeteroGraph, path: MetaPath
 ) -> sparse.csr_matrix:
     """Path-instance counts between endpoint pairs: the product of the
-    (unnormalised) adjacency matrices along the path."""
-    product: Optional[sparse.csr_matrix] = None
-    for relation in path.relations:
-        step = graph.adjacency(relation.name)
-        product = step if product is None else (product @ step).tocsr()
-    assert product is not None
-    return product
+    (unnormalised) adjacency matrices along the path.
+
+    Unnormalised weights are just a different factor source to the
+    planned compute layer: the chain is ordered by estimated sparse
+    work, and for PathSim's symmetric paths ``P = PL PL^-1`` the shared
+    half ``W_PL`` is computed once and closed with its transpose
+    (``M = W_PL W_PL'``) instead of multiplying the mirror out again.
+    """
+    matrix, _ = materialise(graph, path, weights="adjacency")
+    return matrix
 
 
 def _require_symmetric(path: MetaPath) -> None:
@@ -99,7 +103,7 @@ def pathsim_rank(
         raise QueryError(f"{source_key!r} is not a {type_name!r} node")
     i = graph.node_index(type_name, source_key)
     counts = path_count_matrix(graph, path)
-    row = np.asarray(counts.getrow(i).todense()).ravel()
+    row = counts.getrow(i).toarray().ravel()
     diagonal = counts.diagonal()
     denominator = diagonal[i] + diagonal
     with np.errstate(divide="ignore", invalid="ignore"):

@@ -29,7 +29,12 @@ def pcrw_matrix(
     path: MetaPath,
     cache: Optional[PathMatrixCache] = None,
 ) -> np.ndarray:
-    """All-pairs PCRW scores: the dense ``PM_P``."""
+    """All-pairs PCRW scores: the dense ``PM_P``.
+
+    Materialised through the planned compute layer via
+    :func:`repro.core.reachprob.reach_prob`; pass a cache to reuse
+    stored prefixes across paths.
+    """
     return reach_prob(graph, path, cache=cache).toarray()
 
 

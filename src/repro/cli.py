@@ -18,6 +18,11 @@ Workflows::
     # Structural validation report.
     python -m repro.cli validate graph.json
 
+    # Materialisation-planner execution stats (per-step nnz/time,
+    # prefix reuse, evictions) under an optional cache byte budget.
+    python -m repro.cli cache-stats graph.json --paths APC APVC \\
+        --budget-kb 64 --repeat 2
+
 Graphs are the JSON documents produced by
 :func:`repro.hin.io.save_graph`.
 """
@@ -113,6 +118,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="optional path spec to estimate computation cost for",
     )
 
+    cache_stats = commands.add_parser(
+        "cache-stats",
+        help="materialise paths and report the planner's execution stats",
+    )
+    cache_stats.add_argument("graph")
+    cache_stats.add_argument(
+        "--paths",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="path specs to materialise, e.g. APC APVC APVCVPA",
+    )
+    cache_stats.add_argument(
+        "--budget-kb",
+        type=int,
+        default=None,
+        dest="budget_kb",
+        help="optional cache byte budget in KiB (LRU eviction)",
+    )
+    cache_stats.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="materialise the path list this many times (shows cache hits)",
+    )
+
     validate = commands.add_parser(
         "validate", help="structural validation report"
     )
@@ -167,6 +198,23 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"path {args.path}: ~{flops} flops, "
                 f"{cells} result cells"
             )
+        return 0
+
+    if args.command == "cache-stats":
+        from .core.hetesim import half_reach_matrices
+
+        budget = (
+            args.budget_kb * 1024 if args.budget_kb is not None else None
+        )
+        engine = HeteSimEngine(graph, byte_budget=budget)
+        for _ in range(max(1, args.repeat)):
+            for spec in args.paths:
+                # Query the budgeted cache directly (not the engine's
+                # per-path half memo) so --repeat exercises cache hits.
+                half_reach_matrices(
+                    graph, engine.path(spec), cache=engine.cache
+                )
+        print(engine.plan_report())
         return 0
 
     engine = HeteSimEngine(graph)

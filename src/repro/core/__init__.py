@@ -1,14 +1,15 @@
 """HeteSim core: the paper's contribution (Section 4).
 
 Matrix-form HeteSim (:func:`hetesim_matrix` / :func:`hetesim_pair`), the
-reference naive implementations used for cross-validation, the path-matrix
-materialisation cache, ranked search, and the high-level
-:class:`HeteSimEngine`.
+reference naive implementations used for cross-validation, the planned
+materialisation layer (:mod:`repro.core.plan` /
+:mod:`repro.core.backend`) with its budgeted path-matrix cache, ranked
+search, and the high-level :class:`HeteSimEngine`.
 """
 
 from .approx import monte_carlo_hetesim
-from .cache import PathMatrixCache
-from .chain import optimal_chain_order, reach_prob_chain
+from .backend import PlanStats, StepStat, execute_plan, materialise, reach_prob_chain
+from .cache import CacheStats, PathMatrixCache
 from .engine import HeteSimEngine
 from .explain import Contribution, explain_relevance
 from .lowrank import LowRankHeteSim
@@ -22,6 +23,7 @@ from .hetesim import (
 from .multipath import MultiPathHeteSim
 from .naive import naive_hetesim, naive_hetesim_raw
 from .pathlearn import PathWeightResult, learn_path_weights
+from .plan import PathPlan, optimal_chain_order, plan_path, sparse_chain_schedule
 from .profiles import ObjectProfile, ProfileSection, build_profile
 from .pruning import PrunedSearchResult, pruned_top_k
 from .reachprob import reach_distribution, reach_prob, reach_row
@@ -31,17 +33,25 @@ from .variants import dice_hetesim_matrix, dice_hetesim_pair
 from .threshold import ThresholdSearchResult, threshold_top_k
 
 __all__ = [
+    "CacheStats",
     "Contribution",
     "HeteSimEngine",
     "LowRankHeteSim",
     "explain_relevance",
+    "execute_plan",
+    "materialise",
     "MatrixStore",
     "MultiPathHeteSim",
     "ObjectProfile",
+    "PlanStats",
     "ProfileSection",
     "PathMatrixCache",
+    "PathPlan",
     "PathWeightResult",
+    "plan_path",
     "PrunedSearchResult",
+    "sparse_chain_schedule",
+    "StepStat",
     "ThresholdSearchResult",
     "half_reach_matrices",
     "hetesim_all_sources",

@@ -7,60 +7,126 @@ with ``PM_CPA`` and ``PM_APA`` stored, the paths CPAPA, APAPC, CPAPC,
 APCPA and APAPA are all products of stored factors (plus transposes for
 reversed pieces).
 
-:class:`PathMatrixCache` keys matrices by the path's relation-name tuple,
-reuses the longest cached prefix when asked for a new path, and optionally
-caches every prefix it computes along the way.
+:class:`PathMatrixCache` keys matrices by the path's relation-name tuple
+and answers misses through the planned compute layer
+(:mod:`repro.core.plan` / :mod:`repro.core.backend`): the planner reuses
+the longest cached prefix, orders the remaining factors by estimated
+sparse work, and hands prefix intermediates back for storage.  Entries
+are kept under an optional **byte budget** with least-recently-used
+eviction, making the §4.6 space-vs-time trade an enforced bound rather
+than an unbounded growth.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from scipy import sparse
 
+from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
-from ..hin.matrices import transition_matrix
 from ..hin.metapath import MetaPath
+from .backend import PlanStats, execute_plan
+from .plan import plan_path
 
-__all__ = ["PathMatrixCache"]
+__all__ = ["CacheStats", "PathMatrixCache"]
 
 PathKey = Tuple[str, ...]
+
+#: How many recent per-plan execution records the cache retains.
+PLAN_LOG_LIMIT = 32
 
 
 def _key(path: MetaPath) -> PathKey:
     return tuple(relation.name for relation in path.relations)
 
 
+def _matrix_nbytes(matrix: sparse.csr_matrix) -> int:
+    return (
+        matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Inspectable snapshot of the cache's state and counters.
+
+    The §4.6 offline store made observable: entry count and byte volume,
+    hit/miss/eviction counters, the configured budget, and the execution
+    record of the most recent planned materialisation.
+    """
+
+    num_cached: int
+    nbytes: int
+    byte_budget: Optional[int]
+    hits: int
+    misses: int
+    evictions: int
+    last_plan: Optional[PlanStats]
+
+    def summary(self) -> str:
+        """One-line counter rendering (CLI ``cache-stats`` header)."""
+        budget = (
+            f"{self.byte_budget}" if self.byte_budget is not None else "none"
+        )
+        return (
+            f"cache: {self.num_cached} matrices, {self.nbytes} bytes "
+            f"(budget {budget}), {self.hits} hits / {self.misses} misses / "
+            f"{self.evictions} evictions"
+        )
+
+
 class PathMatrixCache:
-    """Cache of ``PM_P`` matrices with longest-prefix reuse.
+    """Cache of ``PM_P`` matrices with planned, budgeted materialisation.
 
     Parameters
     ----------
     graph:
-        The network the matrices are computed over.  The cache assumes the
-        graph is not mutated afterwards; call :meth:`clear` if it is.
+        The network the matrices are computed over.  Mutations are
+        detected per relation through the graph's version counters, so
+        entries of untouched relations survive graph edits.
     cache_prefixes:
-        When True (default) every prefix computed on the way to a request
-        is stored too, so subsequent queries sharing prefixes are cheap.
+        When True (default) prefix products materialised on the way to a
+        request are stored too, so subsequent queries sharing prefixes
+        are cheap (§4.6 partial-path concatenation).
+    byte_budget:
+        Optional cap on :attr:`nbytes`.  When set, least-recently-used
+        entries are evicted after every store so the cap always holds;
+        eviction never changes results (evicted matrices are simply
+        recomputed on demand).
 
     Examples
     --------
-    >>> cache = PathMatrixCache(graph)               # doctest: +SKIP
-    >>> pm = cache.reach_prob(schema.path("APVC"))   # doctest: +SKIP
-    >>> cache.hits, cache.misses                     # doctest: +SKIP
-    (0, 4)
+    >>> cache = PathMatrixCache(graph, byte_budget=1 << 20)  # doctest: +SKIP
+    >>> pm = cache.reach_prob(schema.path("APVC"))           # doctest: +SKIP
+    >>> cache.stats().summary()                              # doctest: +SKIP
     """
 
     def __init__(
-        self, graph: HeteroGraph, cache_prefixes: bool = True
+        self,
+        graph: HeteroGraph,
+        cache_prefixes: bool = True,
+        byte_budget: Optional[int] = None,
     ) -> None:
+        if byte_budget is not None and byte_budget < 0:
+            raise QueryError(
+                f"byte_budget must be >= 0, got {byte_budget}"
+            )
         self.graph = graph
         self.cache_prefixes = cache_prefixes
+        self.byte_budget = byte_budget
+        # Insertion order doubles as recency order (moved on touch).
         self._matrices: Dict[PathKey, sparse.csr_matrix] = {}
         self._signatures: Dict[PathKey, Tuple[int, ...]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.plan_log: List[PlanStats] = []
 
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
     def _fresh(self, key: PathKey) -> bool:
         """Whether the cached entry for ``key`` reflects the current
         graph (per-relation version signature match)."""
@@ -68,42 +134,108 @@ class PathMatrixCache:
             key
         )
 
-    def reach_prob(self, path: MetaPath) -> sparse.csr_matrix:
-        """``PM_P`` for ``path``, reusing the longest *fresh* cached
-        prefix.  Entries stale under the per-relation mutation signature
-        are recomputed transparently (and only those: materialisations of
-        untouched relations survive graph mutations)."""
-        key = _key(path)
-        cached = self._matrices.get(key)
-        if cached is not None and self._fresh(key):
-            self.hits += 1
-            return cached
-        self.misses += 1
+    def _touch(self, key: PathKey) -> None:
+        """Move ``key`` to most-recently-used position."""
+        matrix = self._matrices.pop(key)
+        self._matrices[key] = matrix
 
-        # Find the longest cached *fresh* proper prefix.
-        prefix_len = 0
-        product: Optional[sparse.csr_matrix] = None
+    def freshest_prefix(
+        self, key: PathKey
+    ) -> Tuple[int, Optional[sparse.csr_matrix]]:
+        """Longest *fresh* cached proper prefix of ``key``.
+
+        Returns ``(length, matrix)`` -- ``(0, None)`` when nothing
+        usable is stored.  Called by the planner to substitute stored
+        products for leading factors.
+        """
         for length in range(len(key) - 1, 0, -1):
             prefix_key = key[:length]
             prefix = self._matrices.get(prefix_key)
             if prefix is not None and self._fresh(prefix_key):
-                prefix_len = length
-                product = prefix
-                break
+                self._touch(prefix_key)
+                return length, prefix
+        return 0, None
 
-        for step_index in range(prefix_len, len(key)):
-            relation = path.relations[step_index]
-            step = transition_matrix(self.graph, relation.name, "U")
-            product = step if product is None else (product @ step).tocsr()
-            if self.cache_prefixes:
-                self._store(key[: step_index + 1], product)
-        assert product is not None
-        self._store(key, product)
-        return product
+    def reach_prob(self, path: MetaPath) -> sparse.csr_matrix:
+        """``PM_P`` for ``path``, via the planned compute layer.
 
+        Hits are served from the store; misses are planned (longest
+        fresh cached prefix reused, remaining factors in sparsity-aware
+        order) and executed by :mod:`repro.core.backend`.  Entries stale
+        under the per-relation mutation signature are recomputed
+        transparently (and only those: materialisations of untouched
+        relations survive graph mutations)."""
+        key = _key(path)
+        cached = self._matrices.get(key)
+        if cached is not None and self._fresh(key):
+            self.hits += 1
+            self._touch(key)
+            return cached
+        self.misses += 1
+
+        plan = plan_path(
+            self.graph,
+            path,
+            cache=self,
+            seed_prefixes=self.cache_prefixes,
+        )
+        matrix, stats = execute_plan(
+            self.graph,
+            plan,
+            store=self._store if self.cache_prefixes else None,
+        )
+        self._store(key, matrix)
+        self._record(stats)
+        return matrix
+
+    def extended_product(
+        self, path: MetaPath, extra_right: sparse.spmatrix
+    ) -> sparse.csr_matrix:
+        """``PM_path @ extra_right`` in one planned execution.
+
+        The edge-object fast path for odd relevance paths: the trailing
+        explicit factor joins the chain so the planner can order it with
+        everything else.  Prefix products of ``path`` are seeded into
+        the cache as usual; the combined product itself is *not* stored
+        (it is not the matrix of any meta path).
+        """
+        plan = plan_path(
+            self.graph,
+            path,
+            cache=self,
+            seed_prefixes=self.cache_prefixes,
+            extra_right=extra_right,
+        )
+        matrix, stats = execute_plan(
+            self.graph,
+            plan,
+            store=self._store if self.cache_prefixes else None,
+        )
+        self._record(stats)
+        return matrix
+
+    def _record(self, stats: PlanStats) -> None:
+        self.plan_log.append(stats)
+        del self.plan_log[:-PLAN_LOG_LIMIT]
+
+    # ------------------------------------------------------------------
+    # storage and eviction
+    # ------------------------------------------------------------------
     def _store(self, key: PathKey, matrix: sparse.csr_matrix) -> None:
+        self._matrices.pop(key, None)
         self._matrices[key] = matrix
         self._signatures[key] = self.graph.relations_signature(key)
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-used entries until the budget holds."""
+        if self.byte_budget is None:
+            return
+        while self._matrices and self.nbytes > self.byte_budget:
+            oldest = next(iter(self._matrices))
+            del self._matrices[oldest]
+            del self._signatures[oldest]
+            self.evictions += 1
 
     def put(self, path: MetaPath, matrix: sparse.spmatrix) -> None:
         """Manually store a matrix for a path (e.g. loaded from disk).
@@ -125,7 +257,12 @@ class PathMatrixCache:
         self._signatures.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.plan_log.clear()
 
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     @property
     def num_cached(self) -> int:
         """Number of materialised path matrices."""
@@ -136,11 +273,26 @@ class PathMatrixCache:
         """Approximate memory held by the cached matrices (bytes).
 
         Counts the CSR data, index and indptr arrays -- the §4.6
-        space-vs-time trade made inspectable.
+        space-vs-time trade made inspectable (and, with a budget,
+        enforced).
         """
-        total = 0
-        for matrix in self._matrices.values():
-            total += matrix.data.nbytes
-            total += matrix.indices.nbytes
-            total += matrix.indptr.nbytes
-        return total
+        return sum(
+            _matrix_nbytes(matrix) for matrix in self._matrices.values()
+        )
+
+    @property
+    def last_plan(self) -> Optional[PlanStats]:
+        """Execution record of the most recent planned materialisation."""
+        return self.plan_log[-1] if self.plan_log else None
+
+    def stats(self) -> CacheStats:
+        """Snapshot of counters, volume and the latest plan record."""
+        return CacheStats(
+            num_cached=self.num_cached,
+            nbytes=self.nbytes,
+            byte_budget=self.byte_budget,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            last_plan=self.last_plan,
+        )

@@ -24,11 +24,35 @@ from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import row_normalize, safe_reciprocal
 from ..hin.metapath import MetaPath, PathSpec
-from .cache import PathMatrixCache
+from .backend import PlanStats
+from .cache import CacheStats, PathMatrixCache
 
 __all__ = ["HeteSimEngine"]
 
 _HalfKey = Tuple[str, ...]
+
+
+def _pair_score(
+    left: sparse.csr_matrix,
+    right: sparse.csr_matrix,
+    left_norms: np.ndarray,
+    right_norms: np.ndarray,
+    i: int,
+    j: int,
+    normalized: bool,
+) -> float:
+    """Dot-and-normalise of one (source row, target row) pair.
+
+    The single implementation behind :meth:`HeteSimEngine.relevance`
+    and :meth:`HeteSimEngine.relevance_pairs`, so the zero-norm
+    convention (score 0, never NaN) cannot drift between them.
+    """
+    dot = float((left.getrow(i) @ right.getrow(j).T).toarray()[0, 0])
+    if not normalized:
+        return dot
+    if left_norms[i] == 0 or right_norms[j] == 0:
+        return 0.0
+    return dot / (left_norms[i] * right_norms[j])
 
 
 class HeteSimEngine:
@@ -40,6 +64,10 @@ class HeteSimEngine:
         The :class:`~repro.hin.graph.HeteroGraph` to query.  Mutations
         are detected through the graph's version counter: the next query
         after any mutation transparently rebuilds the caches.
+    byte_budget:
+        Optional cap (bytes) on the underlying
+        :class:`~repro.core.cache.PathMatrixCache`; least-recently-used
+        path matrices are evicted to hold it.
 
     Examples
     --------
@@ -50,9 +78,13 @@ class HeteSimEngine:
     [('KDD', 0.93), ...]
     """
 
-    def __init__(self, graph: HeteroGraph) -> None:
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        byte_budget: Optional[int] = None,
+    ) -> None:
         self.graph = graph
-        self.cache = PathMatrixCache(graph)
+        self.cache = PathMatrixCache(graph, byte_budget=byte_budget)
         self._halves: Dict[
             _HalfKey,
             Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray],
@@ -101,16 +133,15 @@ class HeteSimEngine:
             if split.left is None:
                 left = into_forward
             else:
-                left = (
-                    self.cache.reach_prob(split.left) @ into_forward
-                ).tocsr()
+                left = self.cache.extended_product(
+                    split.left, into_forward
+                )
             if split.right is None:
                 right = into_backward
             else:
-                right = (
-                    self.cache.reach_prob(split.right.reverse())
-                    @ into_backward
-                ).tocsr()
+                right = self.cache.extended_product(
+                    split.right.reverse(), into_backward
+                )
 
         left_norms = np.sqrt(
             np.asarray(left.multiply(left).sum(axis=1))
@@ -134,6 +165,34 @@ class HeteSimEngine:
         self._half_signatures.clear()
 
     # ------------------------------------------------------------------
+    # plan introspection
+    # ------------------------------------------------------------------
+    def plan_stats(self) -> CacheStats:
+        """Snapshot of the materialisation layer's counters and volume.
+
+        Covers cache hits/misses/evictions, held bytes vs budget, and
+        the execution record (per-step nnz and timing, reused prefixes)
+        of the most recent planned materialisation.
+        """
+        return self.cache.stats()
+
+    @property
+    def plan_log(self) -> List[PlanStats]:
+        """Execution records of recent planned materialisations."""
+        return self.cache.plan_log
+
+    def plan_report(self) -> str:
+        """Human-readable report over :meth:`plan_stats` and the log.
+
+        The string the CLI ``cache-stats`` command prints: cache
+        counters first, then one block per recorded plan (association
+        order, per-step nnz/time, prefix reuse, densification).
+        """
+        lines = [self.cache.stats().summary()]
+        lines.extend(stats.summary() for stats in self.cache.plan_log)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # measures
     # ------------------------------------------------------------------
     def relevance(
@@ -152,12 +211,9 @@ class HeteSimEngine:
         left, right, left_norms, right_norms = self.halves(meta)
         i = self._resolve(meta.source_type.name, source_key)
         j = self._resolve(meta.target_type.name, target_key)
-        dot = float((left.getrow(i) @ right.getrow(j).T).toarray()[0, 0])
-        if not normalized:
-            return dot
-        if left_norms[i] == 0 or right_norms[j] == 0:
-            return 0.0
-        return dot / (left_norms[i] * right_norms[j])
+        return _pair_score(
+            left, right, left_norms, right_norms, i, j, normalized
+        )
 
     def relevance_matrix(
         self, path: PathSpec, normalized: bool = True
@@ -188,20 +244,18 @@ class HeteSimEngine:
             raise QueryError("pairs must be non-empty")
         meta = self.path(path)
         left, right, left_norms, right_norms = self.halves(meta)
-        scores: List[float] = []
-        for source_key, target_key in pairs:
-            i = self._resolve(meta.source_type.name, source_key)
-            j = self._resolve(meta.target_type.name, target_key)
-            dot = float(
-                (left.getrow(i) @ right.getrow(j).T).toarray()[0, 0]
+        return [
+            _pair_score(
+                left,
+                right,
+                left_norms,
+                right_norms,
+                self._resolve(meta.source_type.name, source_key),
+                self._resolve(meta.target_type.name, target_key),
+                normalized,
             )
-            if not normalized:
-                scores.append(dot)
-            elif left_norms[i] == 0 or right_norms[j] == 0:
-                scores.append(0.0)
-            else:
-                scores.append(dot / (left_norms[i] * right_norms[j]))
-        return scores
+            for source_key, target_key in pairs
+        ]
 
     def relevance_submatrix(
         self,
@@ -239,9 +293,7 @@ class HeteSimEngine:
         meta = self.path(path)
         left, right, left_norms, right_norms = self.halves(meta)
         i = self._resolve(meta.source_type.name, source_key)
-        scores = np.asarray(
-            (left.getrow(i) @ right.T).todense()
-        ).ravel()
+        scores = (left.getrow(i) @ right.T).toarray().ravel()
         if not normalized:
             return scores
         if left_norms[i] == 0:

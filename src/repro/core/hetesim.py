@@ -30,13 +30,9 @@ from scipy import sparse
 from ..hin.decomposition import decompose_adjacency
 from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
-from ..hin.matrices import (
-    reachable_probability_matrix,
-    row_normalize,
-    safe_reciprocal,
-    transition_matrix,
-)
+from ..hin.matrices import row_normalize, safe_reciprocal, transition_matrix
 from ..hin.metapath import MetaPath
+from .backend import materialise
 
 __all__ = [
     "half_reach_matrices",
@@ -48,7 +44,7 @@ __all__ = [
 
 
 def half_reach_matrices(
-    graph: HeteroGraph, path: MetaPath
+    graph: HeteroGraph, path: MetaPath, cache=None
 ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
     """``(PM_PL, PM_{PR^-1})`` for a path (Definitions 5, 6, 9).
 
@@ -56,13 +52,20 @@ def half_reach_matrices(
     per target-type object.  Both have one column per *middle* object --
     the middle node type for even-length paths, edge objects of the middle
     relation for odd-length paths.
+
+    Both halves are materialised through the planned compute layer
+    (:mod:`repro.core.backend`); pass a
+    :class:`~repro.core.cache.PathMatrixCache` to reuse and seed stored
+    prefixes across calls.
     """
     halves = path.halves()
     if not halves.needs_edge_object:
-        left = reachable_probability_matrix(graph, halves.left)
-        right = reachable_probability_matrix(
-            graph, halves.right.reverse()
-        )
+        if cache is not None:
+            left = cache.reach_prob(halves.left)
+            right = cache.reach_prob(halves.right.reverse())
+        else:
+            left, _ = materialise(graph, halves.left)
+            right, _ = materialise(graph, halves.right.reverse())
         return left, right
 
     middle = halves.middle_relation
@@ -70,21 +73,19 @@ def half_reach_matrices(
     into_edges_forward = row_normalize(w_ae)          # U_{X E}
     into_edges_backward = row_normalize(w_eb.T)       # U_{Y E}
 
-    if halves.left is None:
-        left = into_edges_forward
-    else:
-        left = (
-            reachable_probability_matrix(graph, halves.left)
-            @ into_edges_forward
-        ).tocsr()
+    def _extended(half, extra):
+        if half is None:
+            return extra
+        if cache is not None:
+            return cache.extended_product(half, extra)
+        matrix, _ = materialise(graph, half, extra_right=extra)
+        return matrix
 
-    if halves.right is None:
-        right = into_edges_backward
-    else:
-        right = (
-            reachable_probability_matrix(graph, halves.right.reverse())
-            @ into_edges_backward
-        ).tocsr()
+    left = _extended(halves.left, into_edges_forward)
+    right = _extended(
+        halves.right.reverse() if halves.right is not None else None,
+        into_edges_backward,
+    )
     return left, right
 
 
@@ -211,7 +212,7 @@ def hetesim_all_targets(
     source_index = _resolve(graph, path.source_type.name, source_key)
     left_full, right = half_reach_matrices(graph, path)
     left = _single_row(left_full, source_index)
-    scores = np.asarray((left @ right.T).todense()).ravel()
+    scores = (left @ right.T).toarray().ravel()
     if not normalized:
         return scores
     left_norm = sparse.linalg.norm(left)

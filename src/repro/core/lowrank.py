@@ -44,6 +44,10 @@ class LowRankHeteSim:
         skinny matrices; the effective ranks are exposed as
         ``rank_left`` / ``rank_right``.  Use exact HeteSim when the
         matrices are tiny (ceiling < 1).
+    cache:
+        Optional :class:`~repro.core.cache.PathMatrixCache`; the half
+        matrices are then materialised through it (planned prefix reuse
+        shared with any engine using the same cache).
 
     Examples
     --------
@@ -52,11 +56,11 @@ class LowRankHeteSim:
     """
 
     def __init__(
-        self, graph: HeteroGraph, path: MetaPath, rank: int
+        self, graph: HeteroGraph, path: MetaPath, rank: int, cache=None
     ) -> None:
         if rank < 1:
             raise QueryError(f"rank must be >= 1, got {rank}")
-        left, right = half_reach_matrices(graph, path)
+        left, right = half_reach_matrices(graph, path, cache=cache)
         rank_left = min(rank, min(left.shape) - 1)
         rank_right = min(rank, min(right.shape) - 1)
         if rank_left < 1 or rank_right < 1:

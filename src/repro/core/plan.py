@@ -1,0 +1,586 @@
+"""Planned materialisation of path matrices (the §4.6 compute layer).
+
+Every reachable-probability or path-count matrix in this codebase is a
+chain product ``M_1 M_2 ... M_l`` of per-relation factors.  Until this
+module existed the chain was evaluated in five separate places, each
+strictly left-to-right.  :func:`plan_path` unifies them: given a meta
+path and the graph's *type sizes and nnz counts* (never the matrices
+themselves), it produces a :class:`PathPlan` -- an execution schedule
+that records
+
+* which cached prefix (forward) or mirrored half (transposed, for
+  unnormalised symmetric chains) to reuse instead of recomputing,
+* the association order for the remaining factors, chosen by a
+  sparsity-aware extension of :func:`optimal_chain_order` whose cost is
+  estimated *nonzero* work rather than dense dimensions, and
+* whether each intermediate should stay CSR or densify once its
+  estimated fill-in passes a threshold.
+
+Plans are pure data; :mod:`repro.core.backend` is the single place that
+executes them (and the single place that times them).  The split is the
+architectural seam later sharded or parallel backends plug into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..hin.errors import QueryError
+from ..hin.graph import HeteroGraph
+from ..hin.metapath import MetaPath
+
+__all__ = [
+    "DENSIFY_THRESHOLD",
+    "DENSE_CELL_CAP",
+    "Factor",
+    "PlanStep",
+    "PathPlan",
+    "optimal_chain_order",
+    "sparse_chain_schedule",
+    "estimate_product",
+    "plan_path",
+]
+
+PathKey = Tuple[str, ...]
+
+#: Estimated fill-in (nnz / cells) above which an intermediate is
+#: evaluated densely -- past this point CSR bookkeeping costs more than
+#: the dense kernel.
+DENSIFY_THRESHOLD = 0.25
+
+#: Never densify an intermediate with more cells than this (8 MiB of
+#: float64), however full it is predicted to be.
+DENSE_CELL_CAP = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# classic dense matrix-chain ordering (absorbed from repro.core.chain)
+# ----------------------------------------------------------------------
+def optimal_chain_order(dims: Sequence[int]) -> List[Tuple[int, int]]:
+    """The classic matrix-chain-order DP (dense cost model).
+
+    ``dims`` holds the chain's boundary dimensions: matrix ``i`` is
+    ``dims[i] x dims[i+1]``, so a chain of ``n`` matrices passes
+    ``n + 1`` entries.  Returns the multiplication schedule as a list of
+    ``(left_slot, right_slot)`` pairs over a working list of chain
+    slots: each step multiplies the matrices at the two (adjacent) slots
+    and stores the result at ``left_slot``, shrinking the list by one --
+    apply the steps in order to evaluate the chain optimally.
+
+    This is the dimension-only cost model; :func:`sparse_chain_schedule`
+    is the sparsity-aware extension the planner actually uses.
+    """
+    n = len(dims) - 1
+    if n < 1:
+        raise QueryError("chain needs at least one matrix")
+    if n == 1:
+        return []
+
+    # cost[i][j]: minimal scalar-multiplication count for matrices i..j.
+    cost = np.zeros((n, n))
+    split = np.zeros((n, n), dtype=int)
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            j = i + length - 1
+            best = np.inf
+            for k in range(i, j):
+                candidate = (
+                    cost[i][k]
+                    + cost[k + 1][j]
+                    + dims[i] * dims[k + 1] * dims[j + 1]
+                )
+                if candidate < best:
+                    best = candidate
+                    split[i][j] = k
+            cost[i][j] = best
+
+    return _schedule_from_split(split, n)
+
+
+def _schedule_from_split(split: np.ndarray, n: int) -> List[Tuple[int, int]]:
+    """Flatten a parenthesisation table into slot-based steps (post-order)."""
+    steps: List[Tuple[int, int]] = []
+
+    def emit(i: int, j: int) -> None:
+        if i == j:
+            return
+        k = int(split[i][j])
+        emit(i, k)
+        emit(k + 1, j)
+        steps.append((i, k + 1))
+
+    emit(0, n - 1)
+
+    # Translate original indices into dynamic slot positions: after each
+    # multiplication, indices above the removed slot shift down by one.
+    schedule: List[Tuple[int, int]] = []
+    alive = list(range(n))
+    for left, right in steps:
+        left_slot = alive.index(left)
+        right_slot = alive.index(right)
+        schedule.append((left_slot, right_slot))
+        alive.pop(right_slot)
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# sparsity-aware cost model
+# ----------------------------------------------------------------------
+def estimate_product(
+    shape_a: Tuple[int, int],
+    nnz_a: float,
+    shape_b: Tuple[int, int],
+    nnz_b: float,
+) -> Tuple[float, float]:
+    """``(flops, nnz)`` estimate for one sparse product ``A @ B``.
+
+    Flops is the expected multiply-add count under uniformly scattered
+    nonzeros: each of ``A``'s nonzeros meets ``nnz_b / k`` nonzeros in
+    the matching row of ``B``.  The output nnz estimate treats each of
+    the ``m * n`` cells as hit independently through ``k`` channels with
+    probability ``density_a * density_b`` each -- the standard
+    Erdos-Renyi fill-in estimate; exact for the expectation, and close
+    enough in practice to order a chain.
+    """
+    m, k = shape_a
+    _, n = shape_b
+    if m == 0 or k == 0 or n == 0 or nnz_a <= 0 or nnz_b <= 0:
+        return 0.0, 0.0
+    flops = nnz_a * (nnz_b / k)
+    density_a = min(1.0, nnz_a / (m * k))
+    density_b = min(1.0, nnz_b / (k * n))
+    fill = -np.expm1(k * np.log1p(-min(1.0 - 1e-12, density_a * density_b)))
+    return flops, fill * m * n
+
+
+def sparse_chain_schedule(
+    shapes: Sequence[Tuple[int, int]],
+    nnzs: Sequence[float],
+) -> Tuple[List[Tuple[int, int]], List[Tuple[Tuple[int, int], float, float]]]:
+    """Association order minimising *estimated sparse work*.
+
+    Parameters are per-factor shapes and nonzero counts.  Returns
+    ``(schedule, estimates)`` where ``schedule`` is the slot-step list of
+    :func:`optimal_chain_order` and ``estimates[s]`` holds
+    ``(result_shape, est_flops, est_nnz)`` for schedule step ``s``.
+
+    Ties (and near-ties within 1%) prefer the left-associative split so
+    that intermediates remain path *prefixes* -- prefix-shaped
+    intermediates are the reusable ones under §4.6 partial-path
+    concatenation.
+    """
+    n = len(shapes)
+    if n < 1:
+        raise QueryError("chain needs at least one matrix")
+    if n == 1:
+        return [], []
+
+    cost = np.zeros((n, n))
+    nnz = np.zeros((n, n))
+    split = np.zeros((n, n), dtype=int)
+    for i in range(n):
+        nnz[i][i] = float(nnzs[i])
+    for length in range(2, n + 1):
+        for i in range(n - length + 1):
+            j = i + length - 1
+            best = np.inf
+            best_nnz = 0.0
+            # Iterate k from the left-associative split downwards and
+            # require a strict (>1%) improvement to move away from it,
+            # so near-ties keep prefix-shaped intermediates.
+            for k in range(j - 1, i - 1, -1):
+                left_shape = (shapes[i][0], shapes[k][1])
+                right_shape = (shapes[k + 1][0], shapes[j][1])
+                flops, out_nnz = estimate_product(
+                    left_shape, nnz[i][k], right_shape, nnz[k + 1][j]
+                )
+                candidate = cost[i][k] + cost[k + 1][j] + flops
+                if candidate < best * (1.0 - 1e-2) or best == np.inf:
+                    best = candidate
+                    best_nnz = out_nnz
+                    split[i][j] = k
+            cost[i][j] = best
+            nnz[i][j] = best_nnz
+
+    schedule = _schedule_from_split(split, n)
+
+    # Recover per-step estimates by replaying the schedule over spans.
+    estimates: List[Tuple[Tuple[int, int], float, float]] = []
+    spans: List[Tuple[int, int]] = [(i, i) for i in range(n)]
+    for left_slot, right_slot in schedule:
+        i, _ = spans[left_slot]
+        _, j = spans[right_slot]
+        k = spans[left_slot][1]
+        left_shape = (shapes[i][0], shapes[k][1])
+        right_shape = (shapes[k + 1][0], shapes[j][1])
+        flops, _ = estimate_product(
+            left_shape, nnz[i][k], right_shape, nnz[k + 1][j]
+        )
+        estimates.append(((shapes[i][0], shapes[j][1]), flops, nnz[i][j]))
+        spans[left_slot] = (i, j)
+        spans.pop(right_slot)
+    return schedule, estimates
+
+
+# ----------------------------------------------------------------------
+# plan IR
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Factor:
+    """One factor of a planned chain product.
+
+    ``kind`` selects the source the backend materialises from:
+
+    * ``"transition"`` -- the row-normalised ``U`` matrix of ``relation``
+      (Definition 8), the reachable-probability factor;
+    * ``"adjacency"`` -- the raw weighted adjacency ``W`` of
+      ``relation``, the unnormalised path-count factor (PathSim);
+    * ``"cached"`` -- a matrix the cache already holds (``matrix`` set,
+      ``key`` names the path prefix it covers);
+    * ``"explicit"`` -- a caller-supplied matrix (e.g. the edge-object
+      hop of an odd path);
+    * ``"shared"`` / ``"shared_T"`` -- the mirrored half of a symmetric
+      unnormalised chain (and its transpose), computed once via
+      :attr:`PathPlan.shared`.
+
+    ``coverage`` is how many path relations the factor spans (0 for
+    explicit factors), used to map intermediates back to path prefixes.
+    """
+
+    kind: str
+    shape: Tuple[int, int]
+    nnz: float
+    relation: Optional[str] = None
+    key: Optional[PathKey] = None
+    matrix: Optional[sparse.spmatrix] = None
+    coverage: int = 1
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name used in plan summaries."""
+        if self.kind == "transition":
+            return f"U[{self.relation}]"
+        if self.kind == "adjacency":
+            return f"W[{self.relation}]"
+        if self.kind == "cached":
+            return f"cached[{'.'.join(self.key or ())}]"
+        if self.kind == "shared":
+            return "shared"
+        if self.kind == "shared_T":
+            return "shared'"
+        return "explicit"
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One scheduled multiplication over the shrinking slot list.
+
+    ``store_key`` is set when the step's result is a path *prefix* that
+    the cache should retain (seeding mode); ``densify`` marks results
+    whose estimated fill-in crosses :data:`DENSIFY_THRESHOLD`.
+    """
+
+    left_slot: int
+    right_slot: int
+    shape: Tuple[int, int]
+    est_flops: float
+    est_nnz: float
+    densify: bool
+    store_key: Optional[PathKey] = None
+
+
+@dataclass
+class PathPlan:
+    """An executable schedule for one path-matrix materialisation.
+
+    Produced by :func:`plan_path`, executed (exclusively) by
+    :func:`repro.core.backend.execute_plan`.  ``shared`` is a sub-plan
+    for the mirrored half of a symmetric unnormalised chain; ``steps``
+    then treat its result (and transpose) as ordinary factors.
+    """
+
+    key: PathKey
+    factors: List[Factor]
+    steps: List[PlanStep]
+    prefix_key: Optional[PathKey] = None
+    shared: Optional["PathPlan"] = None
+    store_leading_key: Optional[PathKey] = None
+    densify_threshold: float = DENSIFY_THRESHOLD
+
+    @property
+    def est_flops(self) -> float:
+        """Total estimated multiply-add work of the schedule."""
+        total = sum(step.est_flops for step in self.steps)
+        if self.shared is not None:
+            total += self.shared.est_flops
+        return total
+
+    @property
+    def est_output_nnz(self) -> float:
+        """Estimated nonzero count of the final product."""
+        if self.steps:
+            return self.steps[-1].est_nnz
+        return self.factors[0].nnz
+
+    def describe(self) -> str:
+        """One-line rendering of the planned association order."""
+        labels = [factor.label for factor in self.factors]
+        parts = [f"plan[{'.'.join(self.key)}]"]
+        if self.prefix_key:
+            parts.append(f"prefix={'.'.join(self.prefix_key)}")
+        if self.shared is not None:
+            parts.append(f"mirror={len(self.shared.factors)}")
+        order = []
+        slots = list(labels)
+        for step in self.steps:
+            merged = f"({slots[step.left_slot]} {slots[step.right_slot]})"
+            order.append(merged + ("*" if step.densify else ""))
+            slots[step.left_slot] = merged
+            slots.pop(step.right_slot)
+        parts.append(" -> ".join(order) if order else labels[0])
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# factor construction
+# ----------------------------------------------------------------------
+def _relation_factor(
+    graph: HeteroGraph, relation_name: str, weights: str
+) -> Factor:
+    relation = graph.schema.relation(relation_name)
+    shape = (
+        graph.num_nodes(relation.source.name),
+        graph.num_nodes(relation.target.name),
+    )
+    kind = "transition" if weights == "transition" else "adjacency"
+    return Factor(
+        kind=kind,
+        shape=shape,
+        nnz=float(graph.num_edges(relation_name)),
+        relation=relation_name,
+    )
+
+
+def _matrix_factor(matrix: sparse.spmatrix, kind: str, **extra) -> Factor:
+    nnz = matrix.nnz if sparse.issparse(matrix) else np.count_nonzero(matrix)
+    return Factor(
+        kind=kind,
+        shape=tuple(matrix.shape),
+        nnz=float(nnz),
+        matrix=matrix if kind in ("cached", "explicit") else None,
+        coverage=extra.pop("coverage", 0),
+        **extra,
+    )
+
+
+def _mirror_length(path: MetaPath) -> int:
+    """Longest ``m`` with ``relations[-1-t] == relations[t]^-1`` for t < m."""
+    relations = path.relations
+    n = len(relations)
+    m = 0
+    while m < n // 2 and relations[n - 1 - m] == relations[m].inverse():
+        m += 1
+    return m
+
+
+def _plan_schedule(
+    key: PathKey,
+    factors: List[Factor],
+    *,
+    seed_prefixes: bool,
+    densify_threshold: float,
+) -> List[PlanStep]:
+    """Order ``factors`` and annotate each step with stores/densify."""
+    schedule, estimates = sparse_chain_schedule(
+        [factor.shape for factor in factors],
+        [factor.nnz for factor in factors],
+    )
+    # Span tracking in *original* factor indices, to recover prefixes.
+    coverage_prefix = [0]
+    for factor in factors:
+        coverage_prefix.append(coverage_prefix[-1] + factor.coverage)
+    prefix_storable = [factor.kind != "explicit" for factor in factors]
+    spans: List[Tuple[int, int]] = [(i, i) for i in range(len(factors))]
+
+    steps: List[PlanStep] = []
+    for (left_slot, right_slot), (shape, flops, out_nnz) in zip(
+        schedule, estimates
+    ):
+        i, _ = spans[left_slot]
+        _, j = spans[right_slot]
+        store_key: Optional[PathKey] = None
+        if (
+            seed_prefixes
+            and i == 0
+            and all(prefix_storable[: j + 1])
+            and coverage_prefix[j + 1] < len(key)
+        ):
+            store_key = key[: coverage_prefix[j + 1]]
+        cells = shape[0] * shape[1]
+        densify = bool(
+            cells > 0
+            and cells <= DENSE_CELL_CAP
+            and out_nnz / cells > densify_threshold
+        )
+        steps.append(
+            PlanStep(
+                left_slot=left_slot,
+                right_slot=right_slot,
+                shape=shape,
+                est_flops=flops,
+                est_nnz=out_nnz,
+                densify=densify,
+                store_key=store_key,
+            )
+        )
+        spans[left_slot] = (i, j)
+        spans.pop(right_slot)
+    return steps
+
+
+def plan_path(
+    graph: HeteroGraph,
+    path: MetaPath,
+    *,
+    weights: str = "transition",
+    cache=None,
+    seed_prefixes: bool = False,
+    extra_right: Optional[sparse.spmatrix] = None,
+    densify_threshold: float = DENSIFY_THRESHOLD,
+) -> PathPlan:
+    """Plan the materialisation of one path matrix.
+
+    Parameters
+    ----------
+    graph:
+        The network; only its sizes/nnz counts are consulted here.
+    path:
+        The meta path whose chain product is wanted.
+    weights:
+        ``"transition"`` for reachable probabilities (``U`` factors,
+        Definition 9) or ``"adjacency"`` for unnormalised path counts
+        (``W`` factors, PathSim's ``M``).
+    cache:
+        An optional :class:`~repro.core.cache.PathMatrixCache`; its
+        longest *fresh* cached prefix replaces the leading factors.
+    seed_prefixes:
+        When True, steps whose results are path prefixes carry a
+        ``store_key`` so the executor can hand them back to the cache.
+    extra_right:
+        Optional explicit factor appended after the path's relations
+        (the edge-object hop of odd paths).
+    densify_threshold:
+        Estimated fill-in above which an intermediate goes dense.
+
+    Returns the :class:`PathPlan`; execute it with
+    :func:`repro.core.backend.execute_plan`.
+    """
+    if weights not in ("transition", "adjacency"):
+        raise QueryError(
+            f"weights must be 'transition' or 'adjacency', got {weights!r}"
+        )
+    key: PathKey = tuple(relation.name for relation in path.relations)
+
+    # Mirrored-half reuse: valid only for the unnormalised chain, where
+    # reversal is plain transposition (W_{P^-1} = W_P').  Row-normalised
+    # U chains do not transpose into each other, so probability plans
+    # never take this branch.
+    if weights == "adjacency" and cache is None and extra_right is None:
+        mirror = _mirror_length(path)
+        if mirror >= 1 and len(key) >= 2:
+            shared_plan = plan_path(
+                graph,
+                path.subpath(0, mirror),
+                weights="adjacency",
+                densify_threshold=densify_threshold,
+            )
+            shared_shape = (
+                shared_plan.factors[0].shape[0],
+                shared_plan.factors[-1].shape[1],
+            )
+            shared_nnz = shared_plan.est_output_nnz
+            factors = [
+                Factor(
+                    kind="shared",
+                    shape=shared_shape,
+                    nnz=shared_nnz,
+                    coverage=mirror,
+                )
+            ]
+            factors.extend(
+                _relation_factor(graph, name, weights)
+                for name in key[mirror: len(key) - mirror]
+            )
+            factors.append(
+                Factor(
+                    kind="shared_T",
+                    shape=(shared_shape[1], shared_shape[0]),
+                    nnz=shared_nnz,
+                    coverage=mirror,
+                )
+            )
+            steps = _plan_schedule(
+                key,
+                factors,
+                seed_prefixes=False,
+                densify_threshold=densify_threshold,
+            )
+            return PathPlan(
+                key=key,
+                factors=factors,
+                steps=steps,
+                shared=shared_plan,
+                densify_threshold=densify_threshold,
+            )
+
+    prefix_key: Optional[PathKey] = None
+    prefix_matrix: Optional[sparse.spmatrix] = None
+    if cache is not None:
+        prefix_len, prefix_matrix = cache.freshest_prefix(key)
+        if prefix_len:
+            prefix_key = key[:prefix_len]
+
+    factors: List[Factor] = []
+    if prefix_matrix is not None and prefix_key is not None:
+        factors.append(
+            _matrix_factor(
+                prefix_matrix,
+                "cached",
+                key=prefix_key,
+                coverage=len(prefix_key),
+            )
+        )
+        remaining = key[len(prefix_key):]
+    else:
+        remaining = key
+    factors.extend(
+        _relation_factor(graph, name, weights) for name in remaining
+    )
+    if extra_right is not None:
+        factors.append(_matrix_factor(extra_right, "explicit"))
+
+    store_leading_key: Optional[PathKey] = None
+    if seed_prefixes and prefix_key is None and factors[0].kind in (
+        "transition",
+        "adjacency",
+    ):
+        store_leading_key = key[:1]
+
+    steps = _plan_schedule(
+        key,
+        factors,
+        seed_prefixes=seed_prefixes,
+        densify_threshold=densify_threshold,
+    )
+    return PathPlan(
+        key=key,
+        factors=factors,
+        steps=steps,
+        prefix_key=prefix_key,
+        store_leading_key=store_leading_key,
+        densify_threshold=densify_threshold,
+    )

@@ -135,7 +135,7 @@ def pruned_top_k(
 
     forward_row = sparse.csr_matrix(forward)
     # Support pruning: the sparse product touches only overlapping rows.
-    raw_scores = np.asarray((forward_row @ right.T).todense()).ravel()
+    raw_scores = (forward_row @ right.T).toarray().ravel()
     candidates_scored = int((raw_scores > 0).sum())
 
     if normalized:

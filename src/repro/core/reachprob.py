@@ -9,15 +9,16 @@ along APVC) is exactly :func:`reach_distribution`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
 from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
-from ..hin.matrices import reachable_probability_matrix, transition_matrix
+from ..hin.matrices import transition_matrix
 from ..hin.metapath import MetaPath
+from .backend import materialise
 from .cache import PathMatrixCache
 
 __all__ = ["reach_prob", "reach_row", "reach_distribution"]
@@ -28,10 +29,16 @@ def reach_prob(
     path: MetaPath,
     cache: Optional[PathMatrixCache] = None,
 ) -> sparse.csr_matrix:
-    """``PM_P``, optionally through a :class:`PathMatrixCache`."""
+    """``PM_P``, optionally through a :class:`PathMatrixCache`.
+
+    Either way the product is evaluated by the planned compute layer
+    (:mod:`repro.core.plan` / :mod:`repro.core.backend`); the cache adds
+    prefix reuse and budgeted storage on top.
+    """
     if cache is not None:
         return cache.reach_prob(path)
-    return reachable_probability_matrix(graph, path)
+    matrix, _ = materialise(graph, path)
+    return matrix
 
 
 def reach_row(
@@ -51,7 +58,7 @@ def reach_row(
     )
     for relation in path.relations:
         row = row @ transition_matrix(graph, relation.name, "U")
-    return np.asarray(row.todense()).ravel()
+    return row.toarray().ravel()
 
 
 def reach_distribution(

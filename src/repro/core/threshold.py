@@ -31,7 +31,7 @@ contributions (see ``normalized=True`` notes in :func:`threshold_top_k`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -150,9 +150,9 @@ def threshold_top_k(
     if terminated_early:
         # Membership fixed: compute exact scores for the winners only.
         winner_order = np.argsort(-partial)[:k]
-        exact = np.asarray(
-            (right[winner_order, :] @ sparse.csr_matrix(forward).T).todense()
-        ).ravel()
+        exact = (
+            right[winner_order, :] @ sparse.csr_matrix(forward).T
+        ).toarray().ravel()
         pairs = sorted(
             zip((keys[int(i)] for i in winner_order), exact),
             key=lambda item: (-item[1], item[0]),

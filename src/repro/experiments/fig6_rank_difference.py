@@ -141,6 +141,6 @@ def _pcrw_forward_scores(graph, forward_path, conference):
 
     matrix = reach_prob(graph, forward_path)
     conf_index = graph.node_index("conference", conference)
-    column = np.asarray(matrix[:, conf_index].todense()).ravel()
+    column = matrix[:, conf_index].toarray().ravel()
     authors = graph.node_keys("author")
     return zip(authors, column)

@@ -14,6 +14,7 @@ from .instances import count_path_instances, path_instances
 from .io import load_graph, load_graph_npz, save_graph, save_graph_npz
 from .matrices import (
     col_normalize,
+    factor_matrix,
     reachable_probability_matrix,
     row_normalize,
     transition_matrix,
@@ -51,6 +52,7 @@ __all__ = [
     "decompose_adjacency",
     "enumerate_paths",
     "enumerate_symmetric_paths",
+    "factor_matrix",
     "load_graph",
     "load_graph_npz",
     "merge_graphs",

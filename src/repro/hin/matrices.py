@@ -30,6 +30,7 @@ __all__ = [
     "col_normalize",
     "safe_reciprocal",
     "transition_matrix",
+    "factor_matrix",
     "reachable_probability_matrix",
 ]
 
@@ -102,6 +103,22 @@ def transition_matrix(
     raise ValueError(f"direction must be 'U' or 'V', got {direction!r}")
 
 
+def factor_matrix(
+    graph: HeteroGraph, relation_name: str, kind: str = "U"
+) -> sparse.csr_matrix:
+    """One chain factor of a path-matrix product, by source kind.
+
+    The planner's single factor source
+    (:mod:`repro.core.plan` / :mod:`repro.core.backend`): ``"U"`` and
+    ``"V"`` are the Definition 8 transition matrices (reachable
+    probabilities), ``"W"`` is the raw weighted adjacency -- the
+    unnormalised factor PathSim's path-count chain multiplies.
+    """
+    if kind == "W":
+        return graph.adjacency(relation_name)
+    return transition_matrix(graph, relation_name, kind)
+
+
 def reachable_probability_matrix(
     graph: HeteroGraph, path: MetaPath
 ) -> sparse.csr_matrix:
@@ -110,6 +127,11 @@ def reachable_probability_matrix(
     ``PM_P = U_{A1 A2} U_{A2 A3} ... U_{Al Al+1}``; entry ``(i, j)`` is the
     probability that a random walker starting at object ``i`` of type
     ``A1`` and following ``P`` ends at object ``j`` of type ``A(l+1)``.
+
+    This is the *definitional* left-to-right product, kept as the ground
+    truth the planner-equivalence tests compare against; production
+    callers go through :func:`repro.core.backend.materialise`, which
+    evaluates the same chain in a planned association order.
     """
     product: Optional[sparse.csr_matrix] = None
     for relation in path.relations:

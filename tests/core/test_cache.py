@@ -115,3 +115,75 @@ class TestPathMatrixCache:
             refreshed.toarray(),
             reachable_probability_matrix(fig4, ap).toarray(),
         )
+
+    def test_stats_snapshot(self, fig4):
+        cache = PathMatrixCache(fig4, byte_budget=1 << 20)
+        cache.reach_prob(fig4.schema.path("APC"))
+        stats = cache.stats()
+        assert stats.num_cached == cache.num_cached
+        assert stats.nbytes == cache.nbytes
+        assert stats.byte_budget == 1 << 20
+        assert stats.misses >= 1
+        assert "cache:" in stats.summary()
+
+    def test_last_plan_recorded(self, fig4):
+        cache = PathMatrixCache(fig4)
+        assert cache.last_plan is None
+        cache.reach_prob(fig4.schema.path("APC"))
+        plan = cache.last_plan
+        assert plan is not None
+        assert plan.key == ("writes", "published_in")
+        assert plan.steps
+
+
+SPECS = ["APC", "APA", "APAPC", "APAPA", "AP", "APCPA"]
+
+
+class TestByteBudgetEviction:
+    def test_nbytes_never_exceeds_budget(self, fig4):
+        budget = 256
+        cache = PathMatrixCache(fig4, byte_budget=budget)
+        for spec in SPECS * 2:
+            cache.reach_prob(fig4.schema.path(spec))
+            assert cache.nbytes <= budget
+        assert cache.evictions > 0
+
+    def test_eviction_never_changes_results(self, fig4):
+        budgeted = PathMatrixCache(fig4, byte_budget=1024)
+        for spec in SPECS + list(reversed(SPECS)):
+            path = fig4.schema.path(spec)
+            np.testing.assert_allclose(
+                budgeted.reach_prob(path).toarray(),
+                reachable_probability_matrix(fig4, path).toarray(),
+                atol=1e-12,
+            )
+
+    def test_zero_budget_keeps_nothing(self, fig4):
+        cache = PathMatrixCache(fig4, byte_budget=0)
+        path = fig4.schema.path("APC")
+        result = cache.reach_prob(path)
+        assert cache.num_cached == 0 and cache.nbytes == 0
+        np.testing.assert_allclose(
+            result.toarray(),
+            reachable_probability_matrix(fig4, path).toarray(),
+        )
+
+    def test_lru_evicts_oldest_first(self, fig4):
+        cache = PathMatrixCache(fig4, cache_prefixes=False)
+        ap = fig4.schema.path("AP")
+        pc = fig4.schema.path("PC")
+        cache.reach_prob(ap)
+        cache.reach_prob(pc)
+        # Touch AP so PC becomes least-recently-used, then shrink the
+        # budget to one entry's worth.
+        cache.reach_prob(ap)
+        cache.byte_budget = cache.nbytes - 1
+        cache.reach_prob(fig4.schema.path("PA"))
+        assert cache.contains(ap) or cache.num_cached <= 2
+        assert not cache.contains(pc)
+
+    def test_negative_budget_rejected(self, fig4):
+        from repro.hin.errors import QueryError
+
+        with pytest.raises(QueryError):
+            PathMatrixCache(fig4, byte_budget=-1)

@@ -1,0 +1,181 @@
+"""Unit tests for the planned materialisation layer (plan + backend)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import execute_plan, materialise, reach_prob_chain
+from repro.core.plan import (
+    estimate_product,
+    optimal_chain_order,
+    plan_path,
+    sparse_chain_schedule,
+)
+from repro.hin.errors import QueryError
+from repro.hin.matrices import reachable_probability_matrix
+
+
+class TestOptimalChainOrder:
+    def test_single_matrix_no_steps(self):
+        assert optimal_chain_order([3, 4]) == []
+
+    def test_two_matrices_one_step(self):
+        assert optimal_chain_order([3, 4, 5]) == [(0, 1)]
+
+    def test_clrs_textbook_example(self):
+        """CLRS 15.2: dims (30,35,15,5,10,20,25) -> optimal
+        ((A1 (A2 A3)) ((A4 A5) A6))."""
+        schedule = optimal_chain_order([30, 35, 15, 5, 10, 20, 25])
+        # 5 multiplications for 6 matrices.
+        assert len(schedule) == 5
+        # First emitted step (post-order) is A2 x A3.
+        assert schedule[0] == (1, 2)
+
+    def test_schedule_is_executable(self):
+        rng = np.random.default_rng(0)
+        dims = [4, 7, 2, 9, 3]
+        matrices = [
+            rng.random((dims[i], dims[i + 1]))
+            for i in range(len(dims) - 1)
+        ]
+        expected = matrices[0] @ matrices[1] @ matrices[2] @ matrices[3]
+        working = list(matrices)
+        for left, right in optimal_chain_order(dims):
+            working[left] = working[left] @ working[right]
+            working.pop(right)
+        assert len(working) == 1
+        np.testing.assert_allclose(working[0], expected, atol=1e-10)
+
+    def test_skewed_dims_prefer_small_middle(self):
+        """(100x100)(100x2)(2x100): multiplying the right pair first
+        costs 100*2*100 + 100*100*100; left-first costs 100*100*2 +
+        100*2*100 -- the DP must pick left-first."""
+        schedule = optimal_chain_order([100, 100, 2, 100])
+        assert schedule[0] == (0, 1)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(QueryError):
+            optimal_chain_order([5])
+
+
+class TestSparseChainSchedule:
+    def test_single_factor_empty_schedule(self):
+        schedule, estimates = sparse_chain_schedule([(3, 4)], [5.0])
+        assert schedule == []
+        assert estimates == []
+
+    def test_two_factors_one_step(self):
+        schedule, estimates = sparse_chain_schedule(
+            [(3, 4), (4, 5)], [6.0, 8.0]
+        )
+        assert schedule == [(0, 1)]
+        assert len(estimates) == 1
+        shape, flops, nnz = estimates[0]
+        assert shape == (3, 5)
+        assert flops > 0 and nnz > 0
+
+    def test_very_sparse_factor_multiplied_first(self):
+        """Equal shapes but one near-empty factor: starting from the
+        sparse end keeps every intermediate tiny, so the DP must break
+        the left-to-right default."""
+        shapes = [(100, 100), (100, 100), (100, 100)]
+        nnzs = [10000.0, 10000.0, 10.0]
+        schedule, estimates = sparse_chain_schedule(shapes, nnzs)
+        assert schedule[0] == (1, 2)
+        # The first product's estimated work reflects the sparse factor.
+        assert estimates[0][1] < estimates[1][1]
+
+    def test_near_ties_stay_left_associative(self):
+        """Uniform chains keep the prefix-friendly left-to-right order."""
+        shapes = [(50, 50)] * 4
+        nnzs = [250.0] * 4
+        schedule, _ = sparse_chain_schedule(shapes, nnzs)
+        assert schedule == [(0, 1), (0, 1), (0, 1)]
+
+    def test_estimate_product_zero_inputs(self):
+        assert estimate_product((0, 5), 0.0, (5, 3), 4.0) == (0.0, 0.0)
+
+    def test_estimate_product_dense_inputs_predict_dense_output(self):
+        flops, nnz = estimate_product((10, 10), 100.0, (10, 10), 100.0)
+        assert flops == pytest.approx(1000.0)
+        assert nnz == pytest.approx(100.0, rel=1e-6)
+
+
+class TestPlanPath:
+    @pytest.mark.parametrize("spec", ["AP", "APC", "APAPC"])
+    def test_planned_equals_left_to_right(self, fig4, spec):
+        path = fig4.schema.path(spec)
+        planned, stats = materialise(fig4, path)
+        direct = reachable_probability_matrix(fig4, path).toarray()
+        np.testing.assert_allclose(planned.toarray(), direct, atol=1e-12)
+        assert stats.output_nnz == planned.nnz
+
+    @pytest.mark.parametrize("spec", ["APVC", "APVCVPA", "CVPAPA"])
+    def test_planned_equals_on_acm(self, acm, spec):
+        graph = acm.graph
+        path = graph.schema.path(spec)
+        planned = reach_prob_chain(graph, path).toarray()
+        direct = reachable_probability_matrix(graph, path).toarray()
+        np.testing.assert_allclose(planned, direct, atol=1e-10)
+
+    def test_plan_records_steps_and_describe(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVCVPA")
+        plan = plan_path(graph, path)
+        assert len(plan.steps) == len(plan.factors) - 1
+        assert plan.est_flops > 0
+        description = plan.describe()
+        assert "plan[" in description
+
+    def test_adjacency_weights_plan_uses_mirror(self, acm):
+        """Symmetric count chains compute the shared half only once."""
+        graph = acm.graph
+        path = graph.schema.path("APVPA")
+        plan = plan_path(graph, path, weights="adjacency")
+        assert plan.shared is not None
+        kinds = [factor.kind for factor in plan.factors]
+        assert kinds[0] == "shared" and kinds[-1] == "shared_T"
+
+    def test_adjacency_mirror_matches_direct_product(self, acm):
+        graph = acm.graph
+        path = graph.schema.path("APVPA")
+        planned, stats = materialise(graph, path, weights="adjacency")
+        product = None
+        for relation in path.relations:
+            step = graph.adjacency(relation.name)
+            product = step if product is None else (product @ step).tocsr()
+        np.testing.assert_allclose(
+            planned.toarray(), product.toarray(), atol=1e-9
+        )
+        assert stats.shared is not None
+
+    def test_bad_weights_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            plan_path(fig4, fig4.schema.path("APC"), weights="bogus")
+
+    def test_extra_right_factor_joins_chain(self, fig4):
+        path = fig4.schema.path("AP")
+        extra = reachable_probability_matrix(fig4, fig4.schema.path("PC"))
+        planned, _ = materialise(fig4, path, extra_right=extra)
+        direct = (
+            reachable_probability_matrix(fig4, path) @ extra
+        ).toarray()
+        np.testing.assert_allclose(planned.toarray(), direct, atol=1e-12)
+
+    def test_densified_steps_still_exact(self, fig4):
+        """Tiny toy products fill in past the threshold and go dense;
+        the result must be identical CSR either way."""
+        path = fig4.schema.path("APAPA")
+        planned, stats = materialise(fig4, path)
+        direct = reachable_probability_matrix(fig4, path).toarray()
+        np.testing.assert_allclose(planned.toarray(), direct, atol=1e-12)
+        assert any(step.densified for step in stats.steps)
+
+    def test_execute_plan_stats_shapes(self, fig4):
+        path = fig4.schema.path("APC")
+        plan = plan_path(fig4, path)
+        matrix, stats = execute_plan(fig4, plan)
+        assert stats.key == ("writes", "published_in")
+        assert stats.output_shape == tuple(matrix.shape)
+        assert stats.seconds >= 0
+        for step in stats.steps:
+            assert step.nnz >= 0 and step.seconds >= 0

@@ -1,10 +1,9 @@
 """Property-based tests for the Dice variant and chain ordering."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.chain import optimal_chain_order
+from repro.core.plan import optimal_chain_order
 from repro.core.hetesim import hetesim_matrix
 from repro.core.variants import dice_hetesim_matrix
 from repro.datasets.schemas import bipartite_schema
