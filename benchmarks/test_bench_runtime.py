@@ -1,0 +1,102 @@
+"""Resilient-runtime benchmarks: what does limit enforcement cost?
+
+The cooperative checks (deadline, nnz/byte budgets) run between plan
+steps, so their cost must be negligible against the multiplications
+they guard.  The happy-path overhead ratio is measured interleaved
+(min-of-N for both arms, alternating, so machine noise hits both
+equally) and recorded in the bench JSON under ``extra_info``; the
+<5% bound is part of the runtime's contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.backend import materialise
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+from repro.runtime.limits import ExecutionLimits, execution_scope
+
+ROUNDS = 7
+
+#: Generous envelope: every check runs, nothing ever trips.
+HAPPY_LIMITS = ExecutionLimits(
+    deadline_ms=600_000, max_nnz=10**12, max_bytes=10**15
+)
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("a", "A"), ("b", "B"), ("c", "C")],
+        relations=[("ab", "a", "b"), ("bc", "b", "c")],
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    return make_random_hin(
+        _schema(),
+        sizes={"a": 400, "b": 400, "c": 40},
+        edge_prob=8.0 / 400,
+        edge_probs={"bc": 0.3},
+        seed=0,
+        ensure_connected_rows=True,
+    )
+
+
+def test_limit_checking_overhead(benchmark, network):
+    """Bounded vs plain materialisation of the same chain: the
+    enforcement overhead on the happy path stays under 5%."""
+    path = network.schema.path("ABCBA")
+
+    def plain():
+        materialise(network, path)
+
+    def bounded():
+        with execution_scope(tracker=HAPPY_LIMITS.tracker()):
+            materialise(network, path)
+
+    plain()  # warm both arms (allocator, caches) before timing
+    bounded()
+    plain_times, bounded_times = [], []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        plain()
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        bounded()
+        bounded_times.append(time.perf_counter() - start)
+
+    overhead_ratio = min(bounded_times) / min(plain_times)
+    benchmark.extra_info["plain_seconds"] = min(plain_times)
+    benchmark.extra_info["bounded_seconds"] = min(bounded_times)
+    benchmark.extra_info["overhead_ratio"] = overhead_ratio
+
+    benchmark(bounded)
+
+    assert overhead_ratio < 1.05, (
+        f"limit checking cost {100 * (overhead_ratio - 1):.1f}% "
+        f"on the happy path (contract: <5%)"
+    )
+
+
+def test_degradation_ladder_cost(benchmark, network):
+    """Worst-case ladder walk: every enforced strategy trips instantly
+    (deadline 0) and the unenforced floor answers.  Measures the cost
+    of degradation itself, not of the strategies' numeric work."""
+    from repro.core.engine import HeteSimEngine
+
+    source = network.node_keys("a")[0]
+
+    def degraded_query():
+        engine = HeteSimEngine(network)  # cold: every attempt recomputes
+        runtime = engine.runtime(ExecutionLimits(deadline_ms=0))
+        return runtime.top_k(source, "ABCBA", k=5)
+
+    result = benchmark(degraded_query)
+    assert result.degraded
+    assert result.tripped == "deadline"
+    benchmark.extra_info["attempts"] = len(result.attempts)
+    benchmark.extra_info["answering_strategy"] = result.strategy

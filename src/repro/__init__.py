@@ -10,6 +10,9 @@ Public API tour
 * Compare against baselines: :mod:`repro.baselines` (PCRW, PathSim,
   SimRank, Personalized PageRank).
 * Run learning tasks: :mod:`repro.learning` (NCut clustering, NMI, AUC).
+* Bound and degrade queries: :mod:`repro.runtime`
+  (:class:`ExecutionLimits`, :class:`ResilientRuntime`,
+  deterministic :class:`FaultPlan` injection, ``repro doctor``).
 * Regenerate the paper's tables and figures:
   ``python -m repro.experiments <table1|...|fig7|complexity|all>``.
 
@@ -39,10 +42,15 @@ from .hin import (
     RelationType,
     ReproError,
 )
+from .runtime import ExecutionLimits, FaultPlan
+from .runtime.resilience import DegradedResult, ResilientRuntime
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DegradedResult",
+    "ExecutionLimits",
+    "FaultPlan",
     "GraphBuilder",
     "HeteSimEngine",
     "HeteroGraph",
@@ -52,6 +60,7 @@ __all__ = [
     "PathMatrixCache",
     "RelationType",
     "ReproError",
+    "ResilientRuntime",
     "__version__",
     "hetesim_all_sources",
     "hetesim_all_targets",

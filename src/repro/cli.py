@@ -18,6 +18,13 @@ Workflows::
     # Structural validation report.
     python -m repro.cli validate graph.json
 
+    # Bounded query with graceful degradation (see repro.runtime).
+    python -m repro.cli query graph.json --path APVC --source Tom \\
+        --target KDD --deadline-ms 50 --on-limit degrade
+
+    # Artefact health checks: graph file + matrix store directory.
+    python -m repro.cli doctor graph.json --store store_dir/
+
     # Materialisation-planner execution stats (per-step nnz/time,
     # prefix reuse, evictions) under an optional cache byte budget.
     python -m repro.cli cache-stats graph.json --paths APC APVC \\
@@ -41,6 +48,32 @@ from .hin.validation import graph_report
 __all__ = ["main"]
 
 
+def _add_limit_arguments(command: argparse.ArgumentParser) -> None:
+    """Resilient-runtime flags shared by ``query`` and ``topk``."""
+    command.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        dest="deadline_ms",
+        help="wall-clock deadline per attempt (milliseconds)",
+    )
+    command.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        dest="max_bytes",
+        help="cumulative byte budget for materialised intermediates",
+    )
+    command.add_argument(
+        "--on-limit",
+        choices=("degrade", "fail"),
+        default="degrade",
+        dest="on_limit",
+        help="on breach: retry through cheaper strategies (degrade) "
+        "or raise the typed error (fail)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -57,12 +90,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true",
         help="report the raw meeting probability instead of the cosine",
     )
+    _add_limit_arguments(query)
 
     topk = commands.add_parser("topk", help="rank targets for one source")
     topk.add_argument("graph")
     topk.add_argument("--path", required=True)
     topk.add_argument("--source", required=True)
     topk.add_argument("-k", type=int, default=10)
+    _add_limit_arguments(topk)
 
     profile = commands.add_parser(
         "profile", help="top objects along several labelled paths"
@@ -148,6 +183,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="structural validation report"
     )
     validate.add_argument("graph")
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="validate a graph file and (optionally) a matrix store",
+    )
+    doctor.add_argument("graph")
+    doctor.add_argument(
+        "--store",
+        default=None,
+        dest="store_dir",
+        help="matrix-store directory to check (index/payload/checksums)",
+    )
     return parser
 
 
@@ -162,7 +209,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _limits_from(args: argparse.Namespace):
+    """Build ExecutionLimits from CLI flags; None when no flag given."""
+    if args.deadline_ms is None and args.max_bytes is None:
+        return None
+    from .runtime.limits import ExecutionLimits
+
+    return ExecutionLimits(
+        deadline_ms=args.deadline_ms, max_bytes=args.max_bytes
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "doctor":
+        from .runtime.doctor import run_doctor
+
+        report = run_doctor(args.graph, args.store_dir)
+        print(report.summary())
+        return 0 if report.ok else 1
+
     graph = load_graph(args.graph)
 
     if args.command == "validate":
@@ -220,10 +285,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     engine = HeteSimEngine(graph)
 
     if args.command == "query":
-        score = engine.relevance(
-            args.source, args.target, args.path, normalized=not args.raw
-        )
+        limits = _limits_from(args)
         kind = "raw" if args.raw else "normalized"
+        if limits is not None:
+            runtime = engine.runtime(limits=limits, on_limit=args.on_limit)
+            result = runtime.relevance(
+                args.source, args.target, args.path,
+                normalized=not args.raw,
+            )
+            score = result.value
+            if result.degraded:
+                print(result.summary(), file=sys.stderr)
+        else:
+            score = engine.relevance(
+                args.source, args.target, args.path,
+                normalized=not args.raw,
+            )
         print(
             f"HeteSim({args.source}, {args.target} | {args.path}) "
             f"[{kind}] = {score:.6f}"
@@ -231,9 +308,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "topk":
-        for rank, (key, score) in enumerate(
-            engine.top_k(args.source, args.path, k=args.k), start=1
-        ):
+        limits = _limits_from(args)
+        if limits is not None:
+            runtime = engine.runtime(limits=limits, on_limit=args.on_limit)
+            result = runtime.top_k(args.source, args.path, k=args.k)
+            ranking = result.value
+            if result.degraded:
+                print(result.summary(), file=sys.stderr)
+        else:
+            ranking = engine.top_k(args.source, args.path, k=args.k)
+        for rank, (key, score) in enumerate(ranking, start=1):
             print(f"{rank:3d}  {key}  {score:.6f}")
         return 0
 

@@ -10,6 +10,14 @@ executes here.  Centralising execution buys three things:
 * one implementation of the CSR-vs-dense switch the planner decides;
 * a single seam where alternative backends (sharded, threaded, GPU)
   can later be substituted without touching any measure code.
+
+The executor is also the *cooperative enforcement point* of the
+resilience layer (:mod:`repro.runtime`): between schedule steps it
+consults the ambient :class:`~repro.runtime.limits.ExecutionContext`
+(installed by :func:`~repro.runtime.limits.execution_scope`) to check
+wall-clock deadlines and nnz/byte budgets, to fire deterministic test
+faults, and to apply entry truncation when a degraded strategy asks for
+it.  Outside any scope the checks are a single ``None`` test per plan.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from scipy import sparse
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import factor_matrix
 from ..hin.metapath import MetaPath
+from ..runtime.faults import SITE_EXECUTOR_STEP
+from ..runtime.limits import ExecutionContext, current_context
 from .plan import Factor, PathKey, PathPlan, plan_path
 
 __all__ = [
@@ -106,6 +116,41 @@ def _nnz(matrix) -> int:
     return int(np.count_nonzero(matrix))
 
 
+def _nbytes(matrix) -> int:
+    """Bytes materialised for one intermediate (CSR arrays or dense)."""
+    if sparse.issparse(matrix):
+        csr = matrix
+        return int(
+            csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        )
+    return int(np.asarray(matrix).nbytes)
+
+
+def _truncate(matrix, eps: float):
+    """Zero entries with ``|value| < eps``; returns (matrix, dropped mass).
+
+    The degradation strategies' truncation primitive (the journal
+    HeteSim framework's "truncation" quick-computation): bounding the
+    magnitude of kept entries bounds fill-in growth along the chain, at
+    an accuracy cost equal to the discarded probability mass.
+    """
+    if sparse.issparse(matrix):
+        mask = np.abs(matrix.data) < eps
+        if not mask.any():
+            return matrix, 0.0
+        dropped = float(np.abs(matrix.data[mask]).sum())
+        matrix.data[mask] = 0.0
+        matrix.eliminate_zeros()
+        return matrix, dropped
+    mask = np.abs(matrix) < eps
+    mask &= matrix != 0
+    if not mask.any():
+        return matrix, 0.0
+    dropped = float(np.abs(matrix[mask]).sum())
+    matrix[mask] = 0.0
+    return matrix, dropped
+
+
 def _multiply(a, b):
     """``a @ b`` over any mix of CSR and ndarray, never ``np.matrix``."""
     if sparse.issparse(a) and sparse.issparse(b):
@@ -145,23 +190,43 @@ def execute_plan(
     graph: HeteroGraph,
     plan: PathPlan,
     store: Optional[StoreFn] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Tuple[sparse.csr_matrix, PlanStats]:
     """Run a schedule and return ``(matrix, stats)``.
 
     ``store`` is invoked for every step whose :attr:`PlanStep.store_key`
     is set (prefix seeding) and for the plan's leading factor when the
     planner marked it -- the cache passes its own store method here.
+
+    ``context`` overrides the ambient execution context (which is the
+    default: anything started inside
+    :func:`~repro.runtime.limits.execution_scope` runs under that
+    scope's limits, fault plan and truncation threshold).  Enforcement
+    is cooperative -- the deadline and budgets are checked between
+    steps, never mid-multiplication -- and raises
+    :class:`~repro.hin.errors.DeadlineExceededError` /
+    :class:`~repro.hin.errors.BudgetExceededError`.
     """
     started = time.perf_counter()
+    if context is None:
+        context = current_context()
+    tracker = context.tracker if context is not None else None
+    faults = context.faults if context is not None else None
+    truncate_eps = context.truncate_eps if context is not None else 0.0
+
     stats = PlanStats(
         key=plan.key,
         prefix_key=plan.prefix_key,
         est_flops=plan.est_flops,
     )
+    if tracker is not None:
+        tracker.check_deadline()
 
     shared_matrix: Optional[sparse.csr_matrix] = None
     if plan.shared is not None:
-        shared_matrix, shared_stats = execute_plan(graph, plan.shared)
+        shared_matrix, shared_stats = execute_plan(
+            graph, plan.shared, context=context
+        )
         stats.shared = shared_stats
 
     working = [
@@ -174,10 +239,23 @@ def execute_plan(
         store(plan.store_leading_key, _as_csr(working[0]))
 
     for step in plan.steps:
+        if faults is not None:
+            faults.fire(SITE_EXECUTOR_STEP)
+        if tracker is not None:
+            tracker.check_deadline()
+            if step.densify:
+                tracker.check_densify(step.shape[0] * step.shape[1])
         tick = time.perf_counter()
         product = _multiply(working[step.left_slot], working[step.right_slot])
         if step.densify and sparse.issparse(product):
             product = product.toarray()
+        if truncate_eps > 0.0:
+            product, dropped = _truncate(product, truncate_eps)
+            if context is not None:
+                context.truncated_mass += dropped
+        if tracker is not None:
+            tracker.charge(_nnz(product), _nbytes(product))
+            tracker.check_deadline()
         elapsed = time.perf_counter() - tick
         description = (
             f"{labels[step.left_slot]} @ {labels[step.right_slot]}"

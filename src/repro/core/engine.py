@@ -154,6 +154,31 @@ class HeteSimEngine:
         self._half_signatures[key] = signature
         return result
 
+    def runtime(
+        self,
+        limits=None,
+        on_limit: str = "degrade",
+        policy=None,
+        faults=None,
+    ):
+        """A :class:`~repro.runtime.resilience.ResilientRuntime` bound to
+        this engine.
+
+        The runtime shares this engine's path-matrix cache, so exact
+        prefixes materialised before a limit breach accelerate the
+        degraded retries.  See :mod:`repro.runtime` for the limit,
+        policy and fault-injection types.
+        """
+        from ..runtime.resilience import ResilientRuntime
+
+        return ResilientRuntime(
+            self,
+            limits=limits,
+            on_limit=on_limit,
+            policy=policy,
+            faults=faults,
+        )
+
     def clear_cache(self) -> None:
         """Drop every materialised matrix unconditionally.
 

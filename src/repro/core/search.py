@@ -33,12 +33,26 @@ def rank_targets(
     path: MetaPath,
     source_key: str,
     normalized: bool = True,
+    limits=None,
 ) -> List[Tuple[str, float]]:
     """All target objects ranked by relevance to ``source_key``.
 
     Returns ``(target_key, score)`` pairs, best first.  Ties break by
     node-key order so results are deterministic.
+
+    ``limits`` (an :class:`~repro.runtime.limits.ExecutionLimits`)
+    bounds the computation: breaches raise the typed
+    :class:`~repro.hin.errors.ResourceLimitError` faults.  For the
+    degrading (never-crash) behaviour use
+    :class:`~repro.runtime.resilience.ResilientRuntime` instead.
     """
+    if limits is not None:
+        from ..runtime.limits import execution_scope
+
+        with execution_scope(tracker=limits.tracker()):
+            return rank_targets(
+                graph, path, source_key, normalized=normalized
+            )
     scores = hetesim_all_targets(
         graph, path, source_key, normalized=normalized
     )
@@ -53,16 +67,21 @@ def top_k_targets(
     source_key: str,
     k: int = 10,
     normalized: bool = True,
+    limits=None,
 ) -> List[Tuple[str, float]]:
     """The ``k`` most relevant target objects for ``source_key``.
 
     Only candidates with non-zero meeting probability are materialised;
     zero-score objects are appended (in key order) only when fewer than
-    ``k`` candidates score above zero.
+    ``k`` candidates score above zero.  ``limits`` behaves as in
+    :func:`rank_targets` (typed errors on breach; use the resilient
+    runtime for degradation).
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
-    ranked = rank_targets(graph, path, source_key, normalized=normalized)
+    ranked = rank_targets(
+        graph, path, source_key, normalized=normalized, limits=limits
+    )
     return ranked[:k]
 
 

@@ -8,7 +8,18 @@ for odd-length paths.
 from .builder import GraphBuilder
 from .decomposition import decompose_adjacency
 from .enumerate import enumerate_paths, enumerate_symmetric_paths
-from .errors import GraphError, PathError, QueryError, ReproError, SchemaError
+from .errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    GraphError,
+    InjectedFaultError,
+    PathError,
+    QueryError,
+    ReproError,
+    ResourceLimitError,
+    SchemaError,
+    StoreIntegrityError,
+)
 from .graph import HeteroGraph
 from .instances import count_path_instances, path_instances
 from .io import load_graph, load_graph_npz, save_graph, save_graph_npz
@@ -33,9 +44,14 @@ from .validation import (
 )
 
 __all__ = [
+    "BudgetExceededError",
+    "DeadlineExceededError",
     "GraphBuilder",
     "GraphError",
     "GraphReport",
+    "InjectedFaultError",
+    "ResourceLimitError",
+    "StoreIntegrityError",
     "HeteroGraph",
     "MetaPath",
     "NetworkSchema",

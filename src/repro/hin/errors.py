@@ -10,9 +10,17 @@ layer that detected them:
   endpoints violate the relation's source/target types, ...).
 * :class:`PathError` -- ill-formed or schema-incompatible meta paths.
 * :class:`QueryError` -- bad arguments to search / measure APIs.
+* :class:`ResourceLimitError` -- a query exceeded an execution limit
+  (:class:`DeadlineExceededError`, :class:`BudgetExceededError`).
+* :class:`StoreIntegrityError` -- persisted matrix data failed an
+  integrity check (checksum mismatch, unreadable payload).
+* :class:`InjectedFaultError` -- a deterministic test fault fired
+  (:mod:`repro.runtime.faults`); never raised in production use.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -35,3 +43,78 @@ class PathError(ReproError):
 
 class QueryError(ReproError):
     """A relevance-search or similarity query received invalid arguments."""
+
+
+class ResourceLimitError(ReproError):
+    """A query exceeded one of its :class:`repro.runtime.ExecutionLimits`.
+
+    ``limit`` names the tripped limit (``"deadline"``, ``"max_nnz"``,
+    ``"max_bytes"`` or ``"max_densified_cells"``); ``observed`` and
+    ``allowed`` carry the measured value and the configured bound.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: str,
+        observed: float,
+        allowed: float,
+    ) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.observed = observed
+        self.allowed = allowed
+
+
+class DeadlineExceededError(ResourceLimitError):
+    """The query's wall-clock deadline elapsed before it finished."""
+
+    def __init__(self, elapsed_ms: float, deadline_ms: float) -> None:
+        super().__init__(
+            f"deadline exceeded: {elapsed_ms:.2f} ms elapsed "
+            f"(deadline {deadline_ms:.2f} ms)",
+            limit="deadline",
+            observed=elapsed_ms,
+            allowed=deadline_ms,
+        )
+        self.elapsed_ms = elapsed_ms
+        self.deadline_ms = deadline_ms
+
+
+class BudgetExceededError(ResourceLimitError):
+    """A cumulative work budget (nnz, bytes, densified cells) ran out."""
+
+    def __init__(self, limit: str, observed: float, allowed: float) -> None:
+        super().__init__(
+            f"budget exceeded: {limit} reached {observed:.0f} "
+            f"(allowed {allowed:.0f})",
+            limit=limit,
+            observed=observed,
+            allowed=allowed,
+        )
+
+
+class StoreIntegrityError(ReproError):
+    """Persisted matrix data failed verification on load.
+
+    Raised by :class:`repro.core.store.MatrixStore` when a stored
+    payload's checksum disagrees with its index entry -- the signature of
+    a torn write or on-disk corruption.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault from a :class:`repro.runtime.FaultPlan` fired.
+
+    Only ever raised under an explicit fault-injection harness; carries
+    the site and occurrence index so tests can assert exact provenance.
+    """
+
+    def __init__(self, site: str, occurrence: int, detail: Optional[str] = None) -> None:
+        message = f"injected fault at {site}#{occurrence}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.site = site
+        self.occurrence = occurrence

@@ -1,0 +1,201 @@
+"""Health checks for a graph file and its matrix store (``repro doctor``).
+
+Production deployments accumulate artefacts -- a saved graph JSON, a
+directory of off-line materialised path matrices -- whose silent
+divergence (schema drift, deleted payloads, torn writes) surfaces only
+as wrong answers or crashes at query time.  :func:`run_doctor` validates
+the whole set up front and reports every finding with the *typed error
+name* that would have been raised, so operators can alert on exact
+classes instead of grepping messages.
+
+Checks
+------
+* ``graph.load`` -- the graph file parses and loads.
+* ``graph.schema`` -- structural validation
+  (:func:`repro.hin.validation.graph_report`) finds no errors.
+* ``store.index`` -- the store's index parses.
+* ``store.entry:<key>`` -- per stored matrix: payload present, checksum
+  agrees, payload deserialises, and (when the graph loaded) every
+  relation name resolves against the graph's schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..hin.errors import ReproError
+from ..hin.io import load_graph
+from ..hin.validation import graph_report
+
+__all__ = ["DoctorCheck", "DoctorReport", "run_doctor"]
+
+
+@dataclass(frozen=True)
+class DoctorCheck:
+    """One validation finding: a named check, pass/fail, and detail.
+
+    ``error`` holds the typed error name (e.g. ``StoreIntegrityError``)
+    when the check failed, None when it passed.
+    """
+
+    name: str
+    ok: bool
+    detail: str
+    error: Optional[str] = None
+
+    def render(self) -> str:
+        """``PASS``/``FAIL`` line used by the CLI report."""
+        status = "PASS" if self.ok else "FAIL"
+        line = f"[{status}] {self.name}: {self.detail}"
+        if self.error:
+            line += f" ({self.error})"
+        return line
+
+
+@dataclass
+class DoctorReport:
+    """Aggregate of every doctor check."""
+
+    checks: List[DoctorCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(check.ok for check in self.checks)
+
+    def summary(self) -> str:
+        """Multi-line pass/fail report (the ``repro doctor`` output)."""
+        lines = [check.render() for check in self.checks]
+        failed = sum(1 for check in self.checks if not check.ok)
+        verdict = "OK" if failed == 0 else f"{failed} check(s) failed"
+        lines.append(
+            f"doctor: {len(self.checks)} check(s), {verdict}"
+        )
+        return "\n".join(lines)
+
+    def _add(
+        self,
+        name: str,
+        ok: bool,
+        detail: str,
+        error: Optional[str] = None,
+    ) -> None:
+        self.checks.append(
+            DoctorCheck(name=name, ok=ok, detail=detail, error=error)
+        )
+
+
+def run_doctor(
+    graph_path: Union[str, Path],
+    store_dir: Optional[Union[str, Path]] = None,
+) -> DoctorReport:
+    """Validate a saved graph and (optionally) a matrix store directory.
+
+    Never raises for problems *in the artefacts* -- every failure mode
+    becomes a failed :class:`DoctorCheck` naming the typed error.
+
+    Examples
+    --------
+    >>> report = run_doctor("graph.json", "store/")   # doctest: +SKIP
+    >>> report.ok, print(report.summary())            # doctest: +SKIP
+    """
+    report = DoctorReport()
+    graph = None
+    try:
+        graph = load_graph(graph_path)
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        report._add(
+            "graph.load",
+            False,
+            f"could not load {graph_path}: {exc}",
+            type(exc).__name__,
+        )
+    else:
+        report._add(
+            "graph.load",
+            True,
+            f"loaded {graph_path} ({graph.num_nodes()} nodes)",
+        )
+        structure = graph_report(graph)
+        errors = [
+            issue for issue in structure.issues if issue.severity == "error"
+        ]
+        warnings = [
+            issue for issue in structure.issues if issue.severity == "warning"
+        ]
+        if errors:
+            report._add(
+                "graph.schema",
+                False,
+                "; ".join(issue.code for issue in errors),
+                "GraphError",
+            )
+        else:
+            note = (
+                f"{len(warnings)} warning(s)" if warnings else "no issues"
+            )
+            report._add("graph.schema", True, note)
+
+    if store_dir is not None:
+        _check_store(report, Path(store_dir), graph)
+    return report
+
+
+def _check_store(report: DoctorReport, directory: Path, graph) -> None:
+    from ..core.store import MatrixStore
+
+    if not directory.is_dir():
+        report._add(
+            "store.index",
+            False,
+            f"store directory {directory} does not exist",
+            "FileNotFoundError",
+        )
+        return
+    store = MatrixStore(directory)
+    try:
+        entries = store.entries()
+    except (OSError, json.JSONDecodeError) as exc:
+        report._add(
+            "store.index",
+            False,
+            f"index unreadable: {exc}",
+            type(exc).__name__,
+        )
+        return
+    report._add("store.index", True, f"{len(entries)} stored matrix(es)")
+
+    for key in sorted(entries):
+        name = f"store.entry:{key}"
+        try:
+            matrix = store.load_key(key)
+        except Exception as exc:  # every failure becomes a finding
+            report._add(name, False, str(exc), type(exc).__name__)
+            continue
+        detail = f"{matrix.shape[0]}x{matrix.shape[1]} nnz={matrix.nnz}"
+        if graph is not None:
+            missing = [
+                relation
+                for relation in key.split("|")
+                if not _has_relation(graph, relation)
+            ]
+            if missing:
+                report._add(
+                    name,
+                    False,
+                    f"relations absent from graph schema: {missing}",
+                    "SchemaError",
+                )
+                continue
+        report._add(name, True, detail)
+
+
+def _has_relation(graph, relation_name: str) -> bool:
+    try:
+        graph.schema.relation(relation_name)
+    except ReproError:
+        return False
+    return True

@@ -88,3 +88,140 @@ class TestMatrixStore:
         cache = PathMatrixCache(fig4)
         store.load_into(cache)
         assert cache.contains(cpa)
+
+
+class TestCrashSafety:
+    def test_no_tmp_files_left_after_save(self, fig4, tmp_path):
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [fig4.schema.path("APC"), fig4.schema.path("APA")])
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_index_records_format_and_checksums(self, fig4, tmp_path):
+        import hashlib
+        import json
+
+        store = MatrixStore(tmp_path)
+        store.save(fig4, [fig4.schema.path("APC")])
+        document = json.loads(
+            (tmp_path / "index.json").read_text(encoding="utf-8")
+        )
+        assert document["format"] == 2
+        ((key, entry),) = document["entries"].items()
+        payload = (tmp_path / entry["file"]).read_bytes()
+        assert entry["sha256"] == hashlib.sha256(payload).hexdigest()
+
+    def test_legacy_flat_index_still_loads(self, fig4, tmp_path):
+        import json
+
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        index_path = tmp_path / "index.json"
+        document = json.loads(index_path.read_text(encoding="utf-8"))
+        flat = {
+            key: entry["file"] for key, entry in document["entries"].items()
+        }
+        index_path.write_text(json.dumps(flat), encoding="utf-8")
+        assert store.load(path).nnz > 0  # no checksum, but loadable
+
+    def test_next_save_upgrades_legacy_index(self, fig4, tmp_path):
+        import json
+
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        index_path = tmp_path / "index.json"
+        document = json.loads(index_path.read_text(encoding="utf-8"))
+        flat = {
+            key: entry["file"] for key, entry in document["entries"].items()
+        }
+        index_path.write_text(json.dumps(flat), encoding="utf-8")
+        store.save(fig4, [path])
+        upgraded = json.loads(index_path.read_text(encoding="utf-8"))
+        assert upgraded["format"] == 2
+
+    def test_checksum_mismatch_raises_integrity_error(self, fig4, tmp_path):
+        from repro.hin.errors import StoreIntegrityError
+
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        npz = next(tmp_path.glob("*.npz"))
+        payload = bytearray(npz.read_bytes())
+        payload[-1] ^= 0xFF
+        npz.write_bytes(bytes(payload))
+        with pytest.raises(StoreIntegrityError):
+            store.load(path)
+
+    def test_retry_policy_validation(self, tmp_path):
+        with pytest.raises(QueryError):
+            MatrixStore(tmp_path, io_retries=0)
+        with pytest.raises(QueryError):
+            MatrixStore(tmp_path, io_backoff_s=-1.0)
+
+
+class TestRetriedIO:
+    def _plan(self, site, occurrences, transient=True):
+        from repro.runtime.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            [
+                FaultSpec(site, occ, "fail", transient=transient)
+                for occ in occurrences
+            ]
+        )
+
+    def test_transient_write_fault_absorbed_by_retry(self, fig4, tmp_path):
+        from repro.runtime.faults import SITE_STORE_WRITE
+        from repro.runtime.limits import execution_scope
+
+        store = MatrixStore(tmp_path, io_backoff_s=0.0)
+        path = fig4.schema.path("APC")
+        plan = self._plan(SITE_STORE_WRITE, [0])
+        with execution_scope(faults=plan):
+            store.save(fig4, [path])
+        assert (SITE_STORE_WRITE, 0, "fail") in plan.fired
+        assert store.load(path).nnz > 0
+
+    def test_transient_read_fault_absorbed_by_retry(self, fig4, tmp_path):
+        from repro.runtime.faults import SITE_STORE_READ
+        from repro.runtime.limits import execution_scope
+
+        store = MatrixStore(tmp_path, io_backoff_s=0.0)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        plan = self._plan(SITE_STORE_READ, [0])
+        with execution_scope(faults=plan):
+            loaded = store.load(path)
+        assert loaded.nnz > 0
+        assert plan.fired == [(SITE_STORE_READ, 0, "fail")]
+
+    def test_persistent_faults_exhaust_retries(self, fig4, tmp_path):
+        from repro.core.store import DEFAULT_IO_RETRIES
+        from repro.runtime.faults import SITE_STORE_READ
+        from repro.runtime.limits import execution_scope
+
+        store = MatrixStore(tmp_path, io_backoff_s=0.0)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        plan = self._plan(SITE_STORE_READ, range(DEFAULT_IO_RETRIES))
+        with execution_scope(faults=plan):
+            with pytest.raises(OSError):
+                store.load(path)
+        assert len(plan.fired) == DEFAULT_IO_RETRIES
+
+    def test_terminal_injected_fault_is_not_retried(self, fig4, tmp_path):
+        """Non-transient injected faults are typed errors, not OSError:
+        the retry loop must not absorb them."""
+        from repro.hin.errors import InjectedFaultError
+        from repro.runtime.faults import SITE_STORE_READ
+        from repro.runtime.limits import execution_scope
+
+        store = MatrixStore(tmp_path, io_backoff_s=0.0)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        plan = self._plan(SITE_STORE_READ, [0], transient=False)
+        with execution_scope(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                store.load(path)
+        assert len(plan.fired) == 1

@@ -172,3 +172,87 @@ class TestPaths:
             ["paths", graph_file, "--source", "ghost", "--target", "author"]
         )
         assert code == 2
+
+
+class TestBoundedQuery:
+    def test_zero_deadline_degrades_but_answers(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD", "--deadline-ms", "0"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "HeteSim(Tom, KDD | APC)" in captured.out
+        assert "degraded: tripped deadline" in captured.err
+
+    def test_zero_deadline_fail_mode_exits_two(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD",
+             "--deadline-ms", "0", "--on-limit", "fail"]
+        )
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_byte_budget_degrades_topk(self, graph_file, capsys):
+        code = main(
+            ["topk", graph_file, "--path", "APCPA", "--source", "Tom",
+             "-k", "2", "--max-bytes", "1"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2
+        assert "degraded: tripped max_bytes" in captured.err
+
+    def test_generous_limits_stay_exact(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD",
+             "--deadline-ms", "60000", "--max-bytes", "1000000000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1.000000" in captured.out
+        assert captured.err == ""
+
+
+class TestDoctor:
+    def test_healthy_graph_passes(self, graph_file, capsys):
+        code = main(["doctor", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS] graph.load" in out
+        assert "OK" in out
+
+    def test_healthy_store_passes(self, fig4, graph_file, tmp_path, capsys):
+        from repro.core.store import MatrixStore
+
+        store_dir = tmp_path / "store"
+        MatrixStore(store_dir).save(fig4, [fig4.schema.path("APC")])
+        code = main(["doctor", graph_file, "--store", str(store_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS] store.index" in out
+        assert "[PASS] store.entry:" in out
+
+    def test_corrupted_store_fails_with_typed_name(
+        self, fig4, graph_file, tmp_path, capsys
+    ):
+        from repro.core.store import MatrixStore
+
+        store_dir = tmp_path / "store"
+        MatrixStore(store_dir).save(fig4, [fig4.schema.path("APC")])
+        npz = next(store_dir.glob("*.npz"))
+        payload = bytearray(npz.read_bytes())
+        payload[0] ^= 0xFF
+        npz.write_bytes(bytes(payload))
+        code = main(["doctor", graph_file, "--store", str(store_dir)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] store.entry:" in out
+        assert "StoreIntegrityError" in out
+
+    def test_missing_graph_fails(self, tmp_path, capsys):
+        code = main(["doctor", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "FileNotFoundError" in capsys.readouterr().out

@@ -117,3 +117,116 @@ class TestMutationDuringUse:
         fig4.add_edge("writes", "Jim", "p1")
         after = pathsim_pair(fig4, path, "Tom", "Jim")
         assert after > 0.0
+
+
+class TestInjectedRuntimeFaults:
+    """Deterministic FaultPlan-driven faults in the executor and store."""
+
+    def test_executor_step_failure_mid_chain(self, fig4):
+        from repro.runtime.faults import (
+            SITE_EXECUTOR_STEP,
+            FaultPlan,
+            FaultSpec,
+        )
+        from repro.runtime.limits import execution_scope
+        from repro.core.backend import materialise
+        from repro.hin.errors import InjectedFaultError
+
+        path = fig4.schema.path("APCPA")
+        plan = FaultPlan([FaultSpec(SITE_EXECUTOR_STEP, 1, "fail")])
+        with execution_scope(faults=plan):
+            with pytest.raises(InjectedFaultError) as excinfo:
+                materialise(fig4, path)
+        assert excinfo.value.site == SITE_EXECUTOR_STEP
+        assert excinfo.value.occurrence == 1
+        assert plan.fired == [(SITE_EXECUTOR_STEP, 1, "fail")]
+
+    def test_failed_chain_does_not_poison_the_cache(self, fig4):
+        """A crash mid-materialisation leaves the engine able to answer
+        the same query correctly afterwards."""
+        from repro.runtime.faults import (
+            SITE_EXECUTOR_STEP,
+            FaultPlan,
+            FaultSpec,
+        )
+        from repro.runtime.limits import execution_scope
+        from repro.hin.errors import InjectedFaultError
+
+        expected = HeteSimEngine(fig4).relevance("Tom", "Tom", "APCPA")
+        engine = HeteSimEngine(fig4)
+        plan = FaultPlan([FaultSpec(SITE_EXECUTOR_STEP, 0, "fail")])
+        with execution_scope(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                engine.relevance("Tom", "Tom", "APCPA")
+        assert engine.relevance("Tom", "Tom", "APCPA") == pytest.approx(
+            expected
+        )
+
+    def test_deadline_breach_on_long_path_degrades_with_provenance(
+        self, fig4
+    ):
+        from repro.runtime.limits import ExecutionLimits
+        from repro.runtime.resilience import DegradedResult
+
+        runtime = HeteSimEngine(fig4).runtime(
+            ExecutionLimits(deadline_ms=0)
+        )
+        result = runtime.relevance("Tom", "Tom", "APCPA")
+        assert isinstance(result, DegradedResult)
+        assert result.degraded
+        assert result.tripped == "deadline"
+        assert result.attempts[0].strategy == "exact"
+        assert result.attempts[0].error == "DeadlineExceededError"
+        assert result.attempts[-1].succeeded
+
+    def test_deadline_breach_fail_mode_raises_exact_type(self, fig4):
+        from repro.hin.errors import DeadlineExceededError
+        from repro.runtime.limits import ExecutionLimits
+
+        runtime = HeteSimEngine(fig4).runtime(
+            ExecutionLimits(deadline_ms=0), on_limit="fail"
+        )
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            runtime.relevance("Tom", "Tom", "APCPA")
+        assert excinfo.value.limit == "deadline"
+
+    def test_checksum_mismatch_on_disk_is_integrity_error(
+        self, fig4, tmp_path
+    ):
+        from repro.hin.errors import StoreIntegrityError
+
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        npz = next(tmp_path.glob("*.npz"))
+        payload = bytearray(npz.read_bytes())
+        payload[0] ^= 0xFF
+        npz.write_bytes(bytes(payload))
+        with pytest.raises(StoreIntegrityError) as excinfo:
+            store.load(path)
+        assert "checksum mismatch" in str(excinfo.value)
+
+    def test_injected_corrupt_read_is_caught_by_checksum(
+        self, fig4, tmp_path
+    ):
+        """Corruption injected into the read path (not the disk) is also
+        detected: verification covers the whole IO pipeline."""
+        from repro.hin.errors import StoreIntegrityError
+        from repro.runtime.faults import (
+            SITE_STORE_READ,
+            FaultPlan,
+            FaultSpec,
+        )
+        from repro.runtime.limits import execution_scope
+
+        store = MatrixStore(tmp_path)
+        path = fig4.schema.path("APC")
+        store.save(fig4, [path])
+        plan = FaultPlan([FaultSpec(SITE_STORE_READ, 0, "corrupt")])
+        with execution_scope(faults=plan):
+            with pytest.raises(StoreIntegrityError):
+                store.load(path)
+        assert plan.fired == [(SITE_STORE_READ, 0, "corrupt")]
+        # Outside the fault scope the same store loads cleanly.
+        reloaded = store.load(path)
+        assert reloaded.nnz > 0

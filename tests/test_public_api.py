@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.learning",
     "repro.datasets",
     "repro.experiments",
+    "repro.runtime",
 ]
 
 
@@ -81,12 +82,30 @@ def test_version_marker():
 def test_base_error_catches_everything():
     """Every library error type derives from ReproError."""
     from repro.hin.errors import (
+        BudgetExceededError,
+        DeadlineExceededError,
         GraphError,
+        InjectedFaultError,
         PathError,
         QueryError,
         ReproError,
+        ResourceLimitError,
         SchemaError,
+        StoreIntegrityError,
     )
 
-    for error_type in (SchemaError, GraphError, PathError, QueryError):
+    for error_type in (
+        SchemaError,
+        GraphError,
+        PathError,
+        QueryError,
+        ResourceLimitError,
+        DeadlineExceededError,
+        BudgetExceededError,
+        StoreIntegrityError,
+        InjectedFaultError,
+    ):
         assert issubclass(error_type, ReproError)
+
+    for limit_error in (DeadlineExceededError, BudgetExceededError):
+        assert issubclass(limit_error, ResourceLimitError)
