@@ -30,6 +30,16 @@ Workflows::
     python -m repro.cli cache-stats graph.json --paths APC APVC \\
         --budget-kb 64 --repeat 2
 
+    # Off-line warm-up: pre-materialise (and optionally persist) the
+    # half matrices of frequently-served paths.
+    python -m repro.cli serve-warm graph.json --paths APC APVC \\
+        --workers 4 --store store_dir/
+
+    # Batched serving: many queries answered with group-by-path block
+    # GEMM scoring (SOURCE:PATH items).
+    python -m repro.cli serve-batch graph.json \\
+        --queries Tom:APC Mary:APC Tom:APVC -k 5 --workers 4
+
 Graphs are the JSON documents produced by
 :func:`repro.hin.io.save_graph`.
 """
@@ -179,6 +189,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="materialise the path list this many times (shows cache hits)",
     )
 
+    serve_warm = commands.add_parser(
+        "serve-warm",
+        help="pre-materialise half matrices for frequently-served paths",
+    )
+    serve_warm.add_argument("graph")
+    serve_warm.add_argument(
+        "--paths",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="path specs to warm, e.g. APC APVC",
+    )
+    serve_warm.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent materialisation threads",
+    )
+    serve_warm.add_argument(
+        "--store",
+        default=None,
+        dest="store_dir",
+        help="persist the half-path matrices to this store directory",
+    )
+
+    serve_batch = commands.add_parser(
+        "serve-batch",
+        help="answer many queries with group-by-path batch scoring",
+    )
+    serve_batch.add_argument("graph")
+    serve_batch.add_argument(
+        "--queries",
+        required=True,
+        nargs="+",
+        metavar="SOURCE:PATH",
+        help="queries as SOURCE:PATH items, e.g. Tom:APC Mary:APVC",
+    )
+    serve_batch.add_argument("-k", type=int, default=10)
+    serve_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent path-group workers",
+    )
+    serve_batch.add_argument(
+        "--raw", action="store_true",
+        help="rank by raw meeting probability instead of the cosine",
+    )
+
     validate = commands.add_parser(
         "validate", help="structural validation report"
     )
@@ -280,6 +339,50 @@ def _dispatch(args: argparse.Namespace) -> int:
                     graph, engine.path(spec), cache=engine.cache
                 )
         print(engine.plan_report())
+        return 0
+
+    if args.command == "serve-warm":
+        engine = HeteSimEngine(graph)
+        store = None
+        if args.store_dir is not None:
+            from .core.store import MatrixStore
+
+            store = MatrixStore(args.store_dir)
+        report = engine.warm(
+            args.paths, workers=args.workers, store=store
+        )
+        print(report.summary())
+        return 0
+
+    if args.command == "serve-batch":
+        from .serve import BatchRequest, Query, QueryServer
+
+        queries = []
+        for item in args.queries:
+            source, sep, spec = item.rpartition(":")
+            if not sep or not source or not spec:
+                print(
+                    f"error: bad --queries item {item!r} "
+                    "(expected SOURCE:PATH)",
+                    file=sys.stderr,
+                )
+                return 2
+            queries.append(
+                Query(
+                    source, spec, k=args.k, normalized=not args.raw
+                )
+            )
+        server = QueryServer(HeteSimEngine(graph))
+        result = server.run(
+            BatchRequest(queries, workers=args.workers)
+        )
+        for answer in result.results:
+            print(f"{answer.query.source} | {answer.query.path}:")
+            for rank, (key, score) in enumerate(
+                answer.ranking, start=1
+            ):
+                print(f"  {rank:3d}  {key}  {score:.6f}")
+        print(result.stats.summary(), file=sys.stderr)
         return 0
 
     engine = HeteSimEngine(graph)

@@ -19,6 +19,7 @@ than an unbounded growth.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -116,6 +117,12 @@ class PathMatrixCache:
         self.graph = graph
         self.cache_prefixes = cache_prefixes
         self.byte_budget = byte_budget
+        # Guards the entry dicts and counters: the serving layer
+        # (repro.serve) materialises *distinct* paths concurrently
+        # against one shared cache, so lookups/stores must be atomic.
+        # The lock is never held across a plan execution -- only around
+        # dict reads/writes -- so independent materialisations overlap.
+        self._lock = threading.RLock()
         # Insertion order doubles as recency order (moved on touch).
         self._matrices: Dict[PathKey, sparse.csr_matrix] = {}
         self._signatures: Dict[PathKey, Tuple[int, ...]] = {}
@@ -148,13 +155,14 @@ class PathMatrixCache:
         usable is stored.  Called by the planner to substitute stored
         products for leading factors.
         """
-        for length in range(len(key) - 1, 0, -1):
-            prefix_key = key[:length]
-            prefix = self._matrices.get(prefix_key)
-            if prefix is not None and self._fresh(prefix_key):
-                self._touch(prefix_key)
-                return length, prefix
-        return 0, None
+        with self._lock:
+            for length in range(len(key) - 1, 0, -1):
+                prefix_key = key[:length]
+                prefix = self._matrices.get(prefix_key)
+                if prefix is not None and self._fresh(prefix_key):
+                    self._touch(prefix_key)
+                    return length, prefix
+            return 0, None
 
     def reach_prob(self, path: MetaPath) -> sparse.csr_matrix:
         """``PM_P`` for ``path``, via the planned compute layer.
@@ -166,12 +174,13 @@ class PathMatrixCache:
         transparently (and only those: materialisations of untouched
         relations survive graph mutations)."""
         key = _key(path)
-        cached = self._matrices.get(key)
-        if cached is not None and self._fresh(key):
-            self.hits += 1
-            self._touch(key)
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._matrices.get(key)
+            if cached is not None and self._fresh(key):
+                self.hits += 1
+                self._touch(key)
+                return cached
+            self.misses += 1
 
         plan = plan_path(
             self.graph,
@@ -215,17 +224,19 @@ class PathMatrixCache:
         return matrix
 
     def _record(self, stats: PlanStats) -> None:
-        self.plan_log.append(stats)
-        del self.plan_log[:-PLAN_LOG_LIMIT]
+        with self._lock:
+            self.plan_log.append(stats)
+            del self.plan_log[:-PLAN_LOG_LIMIT]
 
     # ------------------------------------------------------------------
     # storage and eviction
     # ------------------------------------------------------------------
     def _store(self, key: PathKey, matrix: sparse.csr_matrix) -> None:
-        self._matrices.pop(key, None)
-        self._matrices[key] = matrix
-        self._signatures[key] = self.graph.relations_signature(key)
-        self._enforce_budget()
+        with self._lock:
+            self._matrices.pop(key, None)
+            self._matrices[key] = matrix
+            self._signatures[key] = self.graph.relations_signature(key)
+            self._enforce_budget()
 
     def _enforce_budget(self) -> None:
         """Evict least-recently-used entries until the budget holds."""
@@ -249,16 +260,18 @@ class PathMatrixCache:
     def contains(self, path: MetaPath) -> bool:
         """True when a *fresh* ``PM_path`` is materialised."""
         key = _key(path)
-        return key in self._matrices and self._fresh(key)
+        with self._lock:
+            return key in self._matrices and self._fresh(key)
 
     def clear(self) -> None:
         """Drop all cached matrices (call after mutating the graph)."""
-        self._matrices.clear()
-        self._signatures.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.plan_log.clear()
+        with self._lock:
+            self._matrices.clear()
+            self._signatures.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.plan_log.clear()
 
     # ------------------------------------------------------------------
     # introspection
@@ -276,9 +289,11 @@ class PathMatrixCache:
         space-vs-time trade made inspectable (and, with a budget,
         enforced).
         """
-        return sum(
-            _matrix_nbytes(matrix) for matrix in self._matrices.values()
-        )
+        with self._lock:
+            return sum(
+                _matrix_nbytes(matrix)
+                for matrix in self._matrices.values()
+            )
 
     @property
     def last_plan(self) -> Optional[PlanStats]:

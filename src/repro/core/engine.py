@@ -14,7 +14,9 @@ on-line split Section 4.6 describes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -90,6 +92,13 @@ class HeteSimEngine:
             Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray],
         ] = {}
         self._half_signatures: Dict[_HalfKey, Tuple[int, ...]] = {}
+        # Single-flight materialisation: one lock per half key, so two
+        # in-flight queries for the same path share one materialisation
+        # (the second blocks, then hits the memo) while distinct paths
+        # materialise concurrently (repro.serve's dispatcher relies on
+        # this).
+        self._half_locks: Dict[_HalfKey, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # path handling
@@ -108,13 +117,34 @@ class HeteSimEngine:
 
         Staleness is tracked per relation: mutating one relation only
         invalidates the halves of paths that traverse it.
+
+        Thread-safe with single-flight deduplication: concurrent calls
+        for the same path share one materialisation (later callers
+        block briefly, then return the memoised tuple), and calls for
+        distinct paths proceed in parallel.
         """
         key = tuple(relation.name for relation in path.relations)
         signature = self.graph.relations_signature(key)
         cached = self._halves.get(key)
         if cached is not None and self._half_signatures.get(key) == signature:
             return cached
+        with self._locks_guard:
+            key_lock = self._half_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            cached = self._halves.get(key)
+            if (
+                cached is not None
+                and self._half_signatures.get(key) == signature
+            ):
+                return cached
+            return self._materialise_halves(path, key, signature)
 
+    def _materialise_halves(
+        self,
+        path: MetaPath,
+        key: _HalfKey,
+        signature: Tuple[int, ...],
+    ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray]:
         split = path.halves()
         if not split.needs_edge_object:
             left = self.cache.reach_prob(split.left)
@@ -153,6 +183,70 @@ class HeteSimEngine:
         self._halves[key] = result
         self._half_signatures[key] = signature
         return result
+
+    def has_halves(self, path: MetaPath) -> bool:
+        """True when fresh half matrices for ``path`` are memoised.
+
+        Lets the serving layer count how many materialisations a batch
+        actually triggered without recomputing anything.
+        """
+        key = tuple(relation.name for relation in path.relations)
+        return (
+            key in self._halves
+            and self._half_signatures.get(key)
+            == self.graph.relations_signature(key)
+        )
+
+    def warm(
+        self,
+        paths: Iterable[PathSpec],
+        workers: int = 1,
+        store=None,
+    ):
+        """Pre-materialise half matrices and row norms (§4.6 off-line).
+
+        Resolves ``paths``, materialises each distinct path's halves --
+        concurrently when ``workers > 1`` (scipy's sparse products
+        release the GIL) -- and, when ``store`` (a
+        :class:`~repro.core.store.MatrixStore`) is given, persists the
+        half-path ``PM`` matrices so a fresh process can reload them
+        with :meth:`MatrixStore.load_into` instead of recomputing.
+        Returns a :class:`~repro.serve.dispatch.WarmReport`.
+        """
+        from ..serve.dispatch import Dispatcher, WarmReport
+
+        started = time.perf_counter()
+        distinct: Dict[_HalfKey, MetaPath] = {}
+        for spec in paths:
+            meta = self.path(spec)
+            distinct.setdefault(
+                tuple(r.name for r in meta.relations), meta
+            )
+        Dispatcher(workers).map(self.halves, list(distinct.values()))
+
+        persisted: List[str] = []
+        if store is not None:
+            half_paths: Dict[_HalfKey, MetaPath] = {}
+            for meta in distinct.values():
+                split = meta.halves()
+                pieces = [split.left]
+                if split.right is not None:
+                    pieces.append(split.right.reverse())
+                for piece in pieces:
+                    if piece is not None:
+                        half_paths.setdefault(
+                            tuple(r.name for r in piece.relations), piece
+                        )
+            store.save(
+                self.graph, list(half_paths.values()), cache=self.cache
+            )
+            persisted = [piece.code() for piece in half_paths.values()]
+        return WarmReport(
+            paths=tuple(meta.code() for meta in distinct.values()),
+            persisted=tuple(persisted),
+            workers=workers,
+            seconds=time.perf_counter() - started,
+        )
 
     def runtime(
         self,
@@ -353,10 +447,22 @@ class HeteSimEngine:
         k: int = 10,
         normalized: bool = True,
     ) -> List[Tuple[str, float]]:
-        """The ``k`` most relevant target objects for ``source_key``."""
+        """The ``k`` most relevant target objects for ``source_key``.
+
+        Selection-based (:func:`~repro.core.search.select_top_k`): the
+        full target axis is never sorted, but the result -- including
+        the key-order tie-break -- matches ``rank(...)[:k]`` exactly.
+        """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
-        return self.rank(source_key, path, normalized=normalized)[:k]
+        from .search import select_top_k
+
+        meta = self.path(path)
+        scores = self.relevance_vector(
+            source_key, meta, normalized=normalized
+        )
+        keys = self.graph.node_keys(meta.target_type.name)
+        return select_top_k(scores, keys, k)
 
     def explain(
         self,

@@ -202,15 +202,21 @@ def hetesim_all_targets(
     path: MetaPath,
     source_key: str,
     normalized: bool = True,
+    cache=None,
 ) -> np.ndarray:
     """Relevance of one source object to *every* target-type object.
 
     Returns a dense vector indexed like the target type's node indices.
     Computes ``PM_{PR^-1}`` once but only a single forward row, so it is
     much cheaper than :func:`hetesim_matrix` when one query row is needed.
+
+    Pass a :class:`~repro.core.cache.PathMatrixCache` as ``cache`` so
+    repeated queries on the same path reuse the materialised halves
+    instead of rebuilding them every call (§4.6's off-line store); for
+    many queries at once prefer the batch API in :mod:`repro.serve`.
     """
     source_index = _resolve(graph, path.source_type.name, source_key)
-    left_full, right = half_reach_matrices(graph, path)
+    left_full, right = half_reach_matrices(graph, path, cache=cache)
     left = _single_row(left_full, source_index)
     scores = (left @ right.T).toarray().ravel()
     if not normalized:
@@ -229,6 +235,7 @@ def hetesim_all_sources(
     path: MetaPath,
     target_key: str,
     normalized: bool = True,
+    cache=None,
 ) -> np.ndarray:
     """Relevance of every source-type object to one target object.
 
@@ -236,7 +243,8 @@ def hetesim_all_sources(
     ``hetesim_all_targets(graph, path.reverse(), target_key)``.
     """
     return hetesim_all_targets(
-        graph, path.reverse(), target_key, normalized=normalized
+        graph, path.reverse(), target_key, normalized=normalized,
+        cache=cache,
     )
 
 

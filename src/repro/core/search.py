@@ -16,7 +16,8 @@ forward distribution; everything else scores 0 and is never touched).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import heapq
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +26,58 @@ from ..hin.graph import HeteroGraph
 from ..hin.metapath import MetaPath
 from .hetesim import half_reach_matrices, hetesim_all_targets, hetesim_matrix
 
-__all__ = ["top_k_targets", "top_k_pairs", "top_k_pairs_sparse", "rank_targets"]
+__all__ = [
+    "select_top_k",
+    "top_k_targets",
+    "top_k_pairs",
+    "top_k_pairs_sparse",
+    "rank_targets",
+]
+
+
+def select_top_k(
+    scores: np.ndarray, keys: Sequence[str], k: int
+) -> List[Tuple[str, float]]:
+    """The ``k`` best ``(key, score)`` pairs under the ``(-score, key)``
+    order, *without* sorting the full score vector.
+
+    The selection primitive behind :func:`top_k_targets`,
+    :meth:`~repro.core.engine.HeteSimEngine.top_k` and the batch
+    serving API: :func:`numpy.argpartition` isolates the top block in
+    O(n), only the selected candidates are sorted, and score ties are
+    resolved by key order -- exactly the documented deterministic
+    tie-break of the full-sort ranking, so
+    ``select_top_k(scores, keys, k) == rank(scores, keys)[:k]``
+    element for element.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    scores = np.asarray(scores, dtype=float).ravel()
+    n = scores.size
+    if n != len(keys):
+        raise QueryError(
+            f"scores has {n} entries but keys has {len(keys)}"
+        )
+    take = min(k, n)
+    if take == 0:
+        return []
+    if take == n:
+        chosen = list(range(n))
+    else:
+        # Partition for the k largest scores, then resolve boundary
+        # ties deterministically: everything strictly above the k-th
+        # score is in, the remaining slots go to the tied candidates
+        # with the smallest keys.
+        block = np.argpartition(-scores, take - 1)[:take]
+        kth_score = float(scores[block].min())
+        above = np.nonzero(scores > kth_score)[0]
+        tied = np.nonzero(scores == kth_score)[0]
+        need = take - above.size
+        chosen = list(above) + heapq.nsmallest(
+            need, tied.tolist(), key=lambda i: keys[i]
+        )
+    chosen.sort(key=lambda i: (-scores[i], keys[i]))
+    return [(keys[i], float(scores[i])) for i in chosen]
 
 
 def rank_targets(
@@ -34,6 +86,7 @@ def rank_targets(
     source_key: str,
     normalized: bool = True,
     limits=None,
+    cache=None,
 ) -> List[Tuple[str, float]]:
     """All target objects ranked by relevance to ``source_key``.
 
@@ -45,16 +98,23 @@ def rank_targets(
     :class:`~repro.hin.errors.ResourceLimitError` faults.  For the
     degrading (never-crash) behaviour use
     :class:`~repro.runtime.resilience.ResilientRuntime` instead.
+
+    ``cache`` (a :class:`~repro.core.cache.PathMatrixCache`) lets
+    repeated queries reuse the materialised half matrices instead of
+    rebuilding them per call -- pass
+    :attr:`HeteSimEngine.cache <repro.core.engine.HeteSimEngine>` or a
+    standalone cache.
     """
     if limits is not None:
         from ..runtime.limits import execution_scope
 
         with execution_scope(tracker=limits.tracker()):
             return rank_targets(
-                graph, path, source_key, normalized=normalized
+                graph, path, source_key, normalized=normalized,
+                cache=cache,
             )
     scores = hetesim_all_targets(
-        graph, path, source_key, normalized=normalized
+        graph, path, source_key, normalized=normalized, cache=cache
     )
     keys = graph.node_keys(path.target_type.name)
     order = sorted(range(len(keys)), key=lambda i: (-scores[i], keys[i]))
@@ -68,21 +128,32 @@ def top_k_targets(
     k: int = 10,
     normalized: bool = True,
     limits=None,
+    cache=None,
 ) -> List[Tuple[str, float]]:
     """The ``k`` most relevant target objects for ``source_key``.
 
-    Only candidates with non-zero meeting probability are materialised;
-    zero-score objects are appended (in key order) only when fewer than
-    ``k`` candidates score above zero.  ``limits`` behaves as in
-    :func:`rank_targets` (typed errors on breach; use the resilient
-    runtime for degradation).
+    Selection-based: the score vector is computed once and the top
+    block is isolated with :func:`select_top_k` (argpartition plus a
+    sort of just ``k`` candidates), never sorting the full target axis.
+    The result is element-wise identical to ``rank_targets(...)[:k]``,
+    including the deterministic key-order tie-break.  ``limits`` and
+    ``cache`` behave as in :func:`rank_targets`.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
-    ranked = rank_targets(
-        graph, path, source_key, normalized=normalized, limits=limits
+    if limits is not None:
+        from ..runtime.limits import execution_scope
+
+        with execution_scope(tracker=limits.tracker()):
+            return top_k_targets(
+                graph, path, source_key, k=k, normalized=normalized,
+                cache=cache,
+            )
+    scores = hetesim_all_targets(
+        graph, path, source_key, normalized=normalized, cache=cache
     )
-    return ranked[:k]
+    keys = graph.node_keys(path.target_type.name)
+    return select_top_k(scores, keys, k)
 
 
 def top_k_pairs(

@@ -35,6 +35,7 @@ from .limits import (
     ExecutionContext,
     ExecutionLimits,
     LimitTracker,
+    adopt_context,
     current_context,
     execution_scope,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "SITE_STORE_READ",
     "SITE_STORE_WRITE",
     "Strategy",
+    "adopt_context",
     "ambient_faults",
     "current_context",
     "execution_scope",

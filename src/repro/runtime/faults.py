@@ -19,6 +19,7 @@ robustness sweeps that remain replayable.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -113,6 +114,10 @@ class FaultPlan:
     def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
         self.specs: Tuple[FaultSpec, ...] = tuple(specs)
         self._counters: Dict[str, int] = {}
+        # Sites fire from serve worker threads too (the dispatcher
+        # shares one ambient context across the pool), so the
+        # per-site counters must advance atomically.
+        self._counter_lock = threading.Lock()
         #: Chronological ``(site, occurrence, action)`` log of every
         #: fault that actually triggered (for test assertions).
         self.fired: List[Tuple[str, int, str]] = []
@@ -150,9 +155,10 @@ class FaultPlan:
         return self._counters.get(site, 0)
 
     def _advance(self, site: str) -> int:
-        occurrence = self._counters.get(site, 0)
-        self._counters[site] = occurrence + 1
-        return occurrence
+        with self._counter_lock:
+            occurrence = self._counters.get(site, 0)
+            self._counters[site] = occurrence + 1
+            return occurrence
 
     def _matching(self, site: str, occurrence: int) -> List[FaultSpec]:
         return [

@@ -21,6 +21,7 @@ signature changes to run under limits.  Contexts are backed by
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -37,6 +38,7 @@ __all__ = [
     "LimitTracker",
     "ExecutionContext",
     "execution_scope",
+    "adopt_context",
     "current_context",
 ]
 
@@ -116,6 +118,10 @@ class LimitTracker:
         self.nnz_charged = 0
         self.bytes_charged = 0
         self.steps_executed = 0
+        # Budgets are cumulative across every thread a query fans out to
+        # (repro.serve workers adopt the submitting scope's context), so
+        # the counters must tolerate concurrent charges.
+        self._charge_lock = threading.Lock()
 
     @property
     def elapsed_ms(self) -> float:
@@ -133,16 +139,19 @@ class LimitTracker:
 
     def charge(self, nnz: int, nbytes: int) -> None:
         """Account one step's output against the cumulative budgets."""
-        self.nnz_charged += int(nnz)
-        self.bytes_charged += int(nbytes)
-        self.steps_executed += 1
+        with self._charge_lock:
+            self.nnz_charged += int(nnz)
+            self.bytes_charged += int(nbytes)
+            self.steps_executed += 1
+            nnz_charged = self.nnz_charged
+            bytes_charged = self.bytes_charged
         max_nnz = self.limits.max_nnz
-        if max_nnz is not None and self.nnz_charged > max_nnz:
-            raise BudgetExceededError("max_nnz", self.nnz_charged, max_nnz)
+        if max_nnz is not None and nnz_charged > max_nnz:
+            raise BudgetExceededError("max_nnz", nnz_charged, max_nnz)
         max_bytes = self.limits.max_bytes
-        if max_bytes is not None and self.bytes_charged > max_bytes:
+        if max_bytes is not None and bytes_charged > max_bytes:
             raise BudgetExceededError(
-                "max_bytes", self.bytes_charged, max_bytes
+                "max_bytes", bytes_charged, max_bytes
             )
 
     def check_densify(self, cells: int) -> None:
@@ -204,6 +213,32 @@ def execution_scope(
     context = ExecutionContext(
         tracker=tracker, faults=faults, truncate_eps=truncate_eps
     )
+    token = _CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT.reset(token)
+
+
+@contextlib.contextmanager
+def adopt_context(
+    context: Optional[ExecutionContext],
+) -> Iterator[Optional[ExecutionContext]]:
+    """Install an *existing* :class:`ExecutionContext` in this thread.
+
+    :mod:`contextvars` values do not cross thread boundaries, so a
+    worker thread spawned mid-query starts with no ambient context --
+    limits and fault plans installed by :func:`execution_scope` in the
+    submitting thread would silently stop applying.  The serving
+    layer's :class:`~repro.serve.dispatch.Dispatcher` captures
+    :func:`current_context` at submit time and wraps every task in
+    ``adopt_context(captured)``, so the *same* tracker (shared deadline
+    and cumulative budgets) and the same :class:`FaultPlan` counters
+    keep enforcing inside the pool.
+
+    ``adopt_context(None)`` is a no-op scope, so callers need not
+    special-case "no ambient context".
+    """
     token = _CONTEXT.set(context)
     try:
         yield context

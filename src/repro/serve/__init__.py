@@ -1,0 +1,49 @@
+"""Batched, parallel query serving (Section 4.6 at serving scale).
+
+The paper splits relevance search into an off-line materialisation
+stage and an on-line query stage; this package makes the on-line stage
+fast under *many-query* load:
+
+* :class:`BatchRequest` / :class:`BatchResult` / :class:`QueryServer`
+  -- group queries by meta path, materialise each path's halves exactly
+  once, score every source of a group with a single block sparse GEMM,
+  and select each query's top-k without sorting the target axis
+  (:mod:`repro.serve.batch`);
+* :class:`Dispatcher` / :class:`SingleFlight` -- thread-pool execution
+  of independent materialisations with ambient execution-context
+  propagation (limits and fault plans keep applying inside workers) and
+  in-flight deduplication (:mod:`repro.serve.dispatch`);
+* :class:`WarmReport` / :meth:`HeteSimEngine.warm
+  <repro.core.engine.HeteSimEngine.warm>` -- the off-line stage as an
+  API: pre-materialise half matrices and persist them through
+  :class:`~repro.core.store.MatrixStore`.
+
+The CLI exposes the same functionality as ``serve-warm`` and
+``serve-batch`` commands.
+"""
+
+from __future__ import annotations
+
+from .batch import (
+    BatchRequest,
+    BatchResult,
+    BatchStats,
+    Query,
+    QueryResult,
+    QueryServer,
+    serve_batch,
+)
+from .dispatch import Dispatcher, SingleFlight, WarmReport
+
+__all__ = [
+    "BatchRequest",
+    "BatchResult",
+    "BatchStats",
+    "Dispatcher",
+    "Query",
+    "QueryResult",
+    "QueryServer",
+    "SingleFlight",
+    "WarmReport",
+    "serve_batch",
+]

@@ -207,3 +207,51 @@ class TestRelevancePairs:
     def test_unknown_pair_rejected(self, fig4_engine):
         with pytest.raises(QueryError):
             fig4_engine.relevance_pairs([("ghost", "KDD")], "APC")
+
+
+class TestWarm:
+    """`engine.warm`: the §4.6 off-line stage as an API."""
+
+    def test_warm_memoises_halves(self, fig4):
+        engine = HeteSimEngine(fig4)
+        report = engine.warm(["APC", "APCPA"], workers=2)
+        assert set(report.paths) == {"APC", "APCPA"}
+        for spec in ("APC", "APCPA"):
+            assert engine.has_halves(engine.path(spec))
+        # Warmed queries trigger no further materialisation.
+        misses = engine.cache.stats().misses
+        engine.top_k("Tom", "APC", k=2)
+        engine.top_k("Tom", "APCPA", k=2)
+        assert engine.cache.stats().misses == misses
+
+    def test_warm_deduplicates_specs(self, fig4):
+        engine = HeteSimEngine(fig4)
+        report = engine.warm(["APC", "APC", "APC"])
+        assert report.paths == ("APC",)
+
+    def test_warm_persists_through_store(self, fig4, tmp_path):
+        from repro.core.cache import PathMatrixCache
+        from repro.core.store import MatrixStore
+
+        engine = HeteSimEngine(fig4)
+        store = MatrixStore(tmp_path / "store")
+        report = engine.warm(["APC"], store=store)
+        assert report.persisted
+        assert store.stored_paths()
+
+        # A fresh process reloads the halves instead of recomputing.
+        cache = PathMatrixCache(fig4)
+        assert store.load_into(cache) == len(report.persisted)
+        fresh = HeteSimEngine(fig4)
+        fresh.cache = cache
+        misses_before = cache.stats().misses
+        fresh.halves(fresh.path("APC"))
+        assert cache.stats().misses == misses_before
+        assert fresh.relevance("Tom", "KDD", "APC") == pytest.approx(
+            HeteSimEngine(fig4).relevance("Tom", "KDD", "APC")
+        )
+
+    def test_warm_report_summary(self, fig4):
+        engine = HeteSimEngine(fig4)
+        summary = engine.warm(["APC"], workers=3).summary()
+        assert "APC" in summary and "3 worker(s)" in summary

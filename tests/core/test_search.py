@@ -1,9 +1,61 @@
 """Unit tests for ranked relevance search."""
 
+import numpy as np
 import pytest
 
-from repro.core.search import rank_targets, top_k_pairs, top_k_targets
+from repro.core.search import (
+    rank_targets,
+    select_top_k,
+    top_k_pairs,
+    top_k_targets,
+)
 from repro.hin.errors import QueryError
+
+
+class TestSelectTopK:
+    """The argpartition selection helper: identical to a full sort."""
+
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(200)
+        keys = [f"n{i:03d}" for i in range(200)]
+        full = sorted(
+            range(200), key=lambda i: (-scores[i], keys[i])
+        )
+        for k in (1, 5, 50, 199, 200, 1000):
+            expected = [(keys[i], float(scores[i])) for i in full[:k]]
+            assert select_top_k(scores, keys, k) == expected
+
+    def test_boundary_ties_break_by_key(self):
+        # Three candidates tied at the k-th score: the smallest keys
+        # win, exactly as the documented full-sort tie-break.
+        scores = np.array([0.9, 0.5, 0.5, 0.5, 0.1])
+        keys = ["e", "d", "b", "c", "a"]
+        assert select_top_k(scores, keys, 2) == [
+            ("e", 0.9),
+            ("b", 0.5),
+        ]
+        assert select_top_k(scores, keys, 3) == [
+            ("e", 0.9),
+            ("b", 0.5),
+            ("c", 0.5),
+        ]
+
+    def test_all_zero_scores(self):
+        scores = np.zeros(6)
+        keys = ["f", "e", "d", "c", "b", "a"]
+        assert select_top_k(scores, keys, 2) == [
+            ("a", 0.0),
+            ("b", 0.0),
+        ]
+
+    def test_invalid_k(self):
+        with pytest.raises(QueryError):
+            select_top_k(np.array([1.0]), ["a"], 0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(QueryError):
+            select_top_k(np.array([1.0, 2.0]), ["a"], 3)
 
 
 class TestRankTargets:
@@ -46,6 +98,59 @@ class TestTopKTargets:
         path = fig4.schema.path("APC")
         with pytest.raises(QueryError):
             top_k_targets(fig4, path, "ghost", k=1)
+
+    def test_equals_rank_prefix(self, fig4):
+        """Selection-based top-k is element-wise the full ranking's
+        prefix, tie-break included."""
+        path = fig4.schema.path("APC")
+        for k in (1, 2, 3):
+            assert (
+                top_k_targets(fig4, path, "Mary", k=k)
+                == rank_targets(fig4, path, "Mary")[:k]
+            )
+
+
+class TestSearchCacheThreading:
+    """The ``cache=`` satellite: repeated single-source queries stop
+    rebuilding both halves every call."""
+
+    def test_rank_targets_reuses_cache(self, fig4):
+        from repro.core.cache import PathMatrixCache
+
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        first = rank_targets(fig4, path, "Tom", cache=cache)
+        misses = cache.stats().misses
+        assert misses > 0
+        second = rank_targets(fig4, path, "Tom", cache=cache)
+        assert cache.stats().misses == misses
+        assert cache.stats().hits > 0
+        assert second == first
+
+    def test_top_k_targets_reuses_cache(self, fig4):
+        from repro.core.cache import PathMatrixCache
+
+        cache = PathMatrixCache(fig4)
+        path = fig4.schema.path("APC")
+        first = top_k_targets(fig4, path, "Tom", k=2, cache=cache)
+        misses = cache.stats().misses
+        second = top_k_targets(fig4, path, "Tom", k=2, cache=cache)
+        assert cache.stats().misses == misses
+        assert second == first
+
+    def test_cached_equals_uncached(self, fig4):
+        from repro.core.cache import PathMatrixCache
+        from repro.core.hetesim import hetesim_all_targets
+
+        cache = PathMatrixCache(fig4)
+        for spec in ("APC", "APCP"):
+            path = fig4.schema.path(spec)
+            np.testing.assert_allclose(
+                hetesim_all_targets(fig4, path, "Tom", cache=cache),
+                hetesim_all_targets(fig4, path, "Tom"),
+                rtol=1e-12,
+                atol=1e-15,
+            )
 
 
 class TestTopKPairs:

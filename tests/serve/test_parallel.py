@@ -1,0 +1,222 @@
+"""Parallel serving semantics: determinism, limits and faults in workers.
+
+``workers=1`` is the reference execution; everything here pins the
+parallel paths to it -- identical results, identical limit trips,
+identical injected-fault behaviour -- so turning concurrency up can
+never change an answer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.errors import (
+    DeadlineExceededError,
+    InjectedFaultError,
+)
+from repro.hin.schema import NetworkSchema
+from repro.runtime.faults import (
+    SITE_EXECUTOR_STEP,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.runtime.limits import ExecutionLimits, execution_scope
+from repro.serve import BatchRequest, Query, QueryServer
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return make_random_hin(
+        _schema(),
+        sizes={"author": 30, "paper": 50, "conf": 6},
+        edge_prob=0.1,
+        seed=3,
+        ensure_connected_rows=True,
+    )
+
+
+def _queries(hin):
+    sources = hin.node_keys("author")
+    return (
+        [Query(s, "APC", k=4) for s in sources[:10]]
+        + [Query(s, "APCPA", k=4) for s in sources[:10]]
+        + [Query(s, "APCP", k=4, normalized=False) for s in sources[:5]]
+    )
+
+
+class TestDeterminism:
+    def test_workers_1_vs_8_identical(self, hin):
+        queries = _queries(hin)
+        sequential = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=1)
+        )
+        parallel = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=8)
+        )
+        assert parallel.results == sequential.results
+
+    def test_repeated_parallel_runs_identical(self, hin):
+        queries = _queries(hin)
+        first = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=8)
+        )
+        second = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=8)
+        )
+        assert first.results == second.results
+
+
+class TestLimitsInWorkers:
+    @pytest.mark.parametrize("workers", [1, 8])
+    def test_zero_deadline_trips(self, hin, workers):
+        server = QueryServer(HeteSimEngine(hin))
+        request = BatchRequest(
+            [Query("A0", "APC"), Query("A0", "APCPA")],
+            workers=workers,
+        )
+        with pytest.raises(DeadlineExceededError):
+            server.run(
+                request, limits=ExecutionLimits(deadline_ms=0)
+            )
+
+    @pytest.mark.parametrize("workers", [1, 8])
+    def test_ambient_scope_reaches_workers(self, hin, workers):
+        server = QueryServer(HeteSimEngine(hin))
+        limits = ExecutionLimits(deadline_ms=0)
+        with execution_scope(tracker=limits.tracker()):
+            with pytest.raises(DeadlineExceededError):
+                server.run(
+                    BatchRequest(
+                        [Query("A0", "APC")], workers=workers
+                    )
+                )
+
+    def test_generous_limits_pass(self, hin):
+        server = QueryServer(HeteSimEngine(hin))
+        result = server.run(
+            BatchRequest([Query("A0", "APC", k=3)], workers=4),
+            limits=ExecutionLimits(deadline_ms=60_000),
+        )
+        assert len(result.results) == 1
+
+
+class TestFaultsInWorkers:
+    @pytest.mark.parametrize("workers", [1, 8])
+    def test_injected_fault_trips_identically(self, hin, workers):
+        # APCPA's left half is a two-factor chain, so its
+        # materialisation always executes (at least) one step at the
+        # instrumented site -- single-relation halves execute none.
+        plan = FaultPlan(
+            [FaultSpec(SITE_EXECUTOR_STEP, 0, "fail")]
+        )
+        server = QueryServer(HeteSimEngine(hin))
+        with execution_scope(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                server.run(
+                    BatchRequest(
+                        [
+                            Query(s, "APCPA")
+                            for s in ("A0", "A1", "A2")
+                        ],
+                        workers=workers,
+                    )
+                )
+        assert plan.fired == [(SITE_EXECUTOR_STEP, 0, "fail")]
+
+    def test_fault_free_plan_observes_worker_steps(self, hin):
+        """Site counters advance inside worker threads (the plan sees
+        the same executor steps a sequential run produces)."""
+        sequential = FaultPlan()
+        with execution_scope(faults=sequential):
+            QueryServer(HeteSimEngine(hin)).run(
+                BatchRequest(
+                    [Query("A0", "APC"), Query("A0", "APCPA")],
+                    workers=1,
+                )
+            )
+        parallel = FaultPlan()
+        with execution_scope(faults=parallel):
+            QueryServer(HeteSimEngine(hin)).run(
+                BatchRequest(
+                    [Query("A0", "APC"), Query("A0", "APCPA")],
+                    workers=8,
+                )
+            )
+        assert parallel.occurrences(
+            SITE_EXECUTOR_STEP
+        ) == sequential.occurrences(SITE_EXECUTOR_STEP)
+
+
+class TestSingleFlightHalves:
+    def test_concurrent_same_path_materialises_once(self, hin):
+        engine = HeteSimEngine(hin)
+        path = engine.path("APCPA")
+        calls = []
+        original = engine._materialise_halves
+
+        def counting(meta, key, signature):
+            calls.append(key)
+            return original(meta, key, signature)
+
+        engine._materialise_halves = counting
+        barrier = threading.Barrier(4)
+        results = [None] * 4
+
+        def worker(slot):
+            barrier.wait()
+            results[slot] = engine.halves(path)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert all(result is results[0] for result in results)
+
+    def test_distinct_paths_not_serialised_by_memo(self, hin):
+        """Distinct paths may materialise concurrently and still land
+        correct entries (exercises the cache's locking)."""
+        engine = HeteSimEngine(hin)
+        specs = ["APC", "APCPA", "APCP", "AP"]
+        metas = [engine.path(spec) for spec in specs]
+        threads = [
+            threading.Thread(target=engine.halves, args=(meta,))
+            for meta in metas
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for meta in metas:
+            assert engine.has_halves(meta)
+        reference = HeteSimEngine(hin)
+        for meta, spec in zip(metas, specs):
+            left, right, _, _ = engine.halves(meta)
+            ref_left, ref_right, _, _ = reference.halves(
+                reference.path(spec)
+            )
+            np.testing.assert_array_equal(
+                left.toarray(), ref_left.toarray()
+            )
+            np.testing.assert_array_equal(
+                right.toarray(), ref_right.toarray()
+            )

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.experiments",
     "repro.runtime",
+    "repro.serve",
 ]
 
 
