@@ -1,0 +1,75 @@
+"""repro-lint: AST-based invariant checking for this repository.
+
+PRs 1-3 introduced invariants enforced only by convention: densify only
+through the planned backend step, raise only typed
+:class:`~repro.hin.errors.ReproError` subclasses, seed every RNG,
+propagate the ambient :class:`~repro.runtime.limits.ExecutionContext`
+into worker threads, and guard shared state with locks.  This package
+makes those invariants machine-checked on every push:
+
+* :mod:`repro.analysis.core` -- the framework: :class:`Finding`,
+  the :class:`Rule` protocol, the registry, single-parse-per-file
+  :class:`SourceFile` handling.
+* :mod:`repro.analysis.rules` -- the local rule pack (RPR001 unbudgeted
+  densification, RPR002 typed errors, RPR003 nondeterminism, RPR005
+  context propagation, RPR006 float-literal equality).
+* :mod:`repro.analysis.lockgraph` -- RPR004 lock discipline: static
+  guaranteed-held analysis plus lock-order cycle detection.
+* :mod:`repro.analysis.runner` / :mod:`~repro.analysis.report` -- the
+  driver and the text/JSON emitters behind ``hetesim lint``.
+* :mod:`repro.analysis.baseline` -- the justification-required
+  allowlist (``lint_baseline.toml``).
+
+The package imports only the standard library, so the linter runs in
+any environment that can run the tests.  Usage::
+
+    hetesim lint                      # text report, exit 1 on findings
+    hetesim lint --format json        # machine-readable
+    hetesim lint --write-baseline     # grandfather the current tree
+"""
+
+from .baseline import Baseline, Suppression, load_baseline, write_baseline
+from .core import (
+    Finding,
+    BaseRule,
+    Rule,
+    SourceFile,
+    default_rules,
+    register,
+    registered_rules,
+)
+from .lockgraph import LockDisciplineRule
+from .report import render_json, render_text
+from .rules import (
+    ContextPropagationRule,
+    DensifyRule,
+    FloatEqualityRule,
+    NondeterminismRule,
+    TypedErrorRule,
+)
+from .runner import LintResult, iter_python_files, run_lint
+
+__all__ = [
+    "Baseline",
+    "BaseRule",
+    "ContextPropagationRule",
+    "DensifyRule",
+    "Finding",
+    "FloatEqualityRule",
+    "LintResult",
+    "LockDisciplineRule",
+    "NondeterminismRule",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "TypedErrorRule",
+    "default_rules",
+    "iter_python_files",
+    "load_baseline",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

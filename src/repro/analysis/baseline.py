@@ -1,0 +1,308 @@
+"""Justification-required baseline allowlist (``lint_baseline.toml``).
+
+A baseline entry *suppresses* findings it matches -- but every entry
+must carry a one-line ``reason``, so each grandfathered violation is a
+reviewed decision rather than silent debt.  The file is an array of
+tables::
+
+    [[suppression]]
+    rule = "RPR001"
+    path = "src/repro/core/engine.py"
+    reason = "row/pair-level densifications: outputs are O(n) results"
+
+Optional narrowing keys: ``line`` (exact line match -- precise but
+brittle under edits) and ``match`` (substring of the finding message --
+survives reformatting).  An entry with neither suppresses every finding
+of ``rule`` in ``path``.
+
+Parsing uses :mod:`tomllib` when available (Python 3.11+) and otherwise
+a built-in parser for exactly the subset this file uses (``[[table]]``
+headers, string/int values, comments) -- the repository supports 3.10
+and takes no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..hin.errors import AnalysisError
+from .core import Finding
+
+__all__ = [
+    "Suppression",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+_ALLOWED_KEYS = {"rule", "path", "reason", "line", "match"}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: which findings it covers, and why.
+
+    ``rule`` and ``path`` are exact matches; ``line`` (when set) pins
+    the finding's line and ``match`` (when set) must be a substring of
+    the finding's message.  ``reason`` is mandatory and non-empty.
+    """
+
+    rule: str
+    path: str
+    reason: str
+    line: Optional[int] = None
+    match: Optional[str] = None
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if self.rule != finding.rule or self.path != finding.path:
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        if self.match is not None and self.match not in finding.message:
+            return False
+        return True
+
+
+class Baseline:
+    """An ordered collection of suppressions with match bookkeeping."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()) -> None:
+        self.suppressions: Tuple[Suppression, ...] = tuple(suppressions)
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Suppression]]:
+        """Split findings into ``(unbaselined, suppressed, unused)``.
+
+        ``unused`` lists entries that covered nothing -- stale debt the
+        text report surfaces so the baseline shrinks over time.
+        """
+        unbaselined: List[Finding] = []
+        suppressed: List[Finding] = []
+        used = [False] * len(self.suppressions)
+        for finding in findings:
+            covered = False
+            for index, entry in enumerate(self.suppressions):
+                if entry.covers(finding):
+                    used[index] = True
+                    covered = True
+            if covered:
+                suppressed.append(finding)
+            else:
+                unbaselined.append(finding)
+        unused = [
+            entry
+            for index, entry in enumerate(self.suppressions)
+            if not used[index]
+        ]
+        return unbaselined, suppressed, unused
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Read and validate a baseline file.
+
+    Raises :class:`~repro.hin.errors.AnalysisError` on malformed TOML,
+    unknown keys, missing ``rule`` / ``path``, or an empty ``reason``
+    (justifications are required, not decorative).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    entries: object
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10
+        entries = _parse_toml_subset(text, str(path)).get("suppression", [])
+    else:
+        try:
+            entries = tomllib.loads(text).get("suppression", [])
+        except tomllib.TOMLDecodeError as exc:
+            raise AnalysisError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(entries, list):
+        raise AnalysisError(
+            f"malformed baseline {path}: 'suppression' must be an array "
+            "of tables ([[suppression]])"
+        )
+    suppressions: List[Suppression] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise AnalysisError(
+                f"malformed baseline {path}: suppression #{position} is "
+                "not a table"
+            )
+        suppressions.append(_validate_entry(entry, position, str(path)))
+    return Baseline(suppressions)
+
+
+def _validate_entry(
+    entry: Dict[str, object], position: int, path: str
+) -> Suppression:
+    unknown = set(entry) - _ALLOWED_KEYS
+    if unknown:
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} has unknown "
+            f"key(s) {sorted(unknown)} (allowed: {sorted(_ALLOWED_KEYS)})"
+        )
+    rule = entry.get("rule")
+    target = entry.get("path")
+    reason = entry.get("reason")
+    if not isinstance(rule, str) or not rule:
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} needs a 'rule' string"
+        )
+    if not isinstance(target, str) or not target:
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} needs a 'path' string"
+        )
+    if not isinstance(reason, str) or not reason.strip():
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} ({rule} in "
+            f"{target}) requires a non-empty 'reason' justification"
+        )
+    line = entry.get("line")
+    if line is not None and not isinstance(line, int):
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} 'line' must be an "
+            "integer"
+        )
+    match = entry.get("match")
+    if match is not None and not isinstance(match, str):
+        raise AnalysisError(
+            f"baseline {path}: suppression #{position} 'match' must be a "
+            "string"
+        )
+    return Suppression(
+        rule=rule, path=target, reason=reason, line=line, match=match
+    )
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> int:
+    """Write a line-pinned baseline covering ``findings``; returns count.
+
+    Generated entries carry a placeholder reason that passes validation
+    but reads as unreviewed -- replace each with a real justification
+    (that is the point of the file).
+    """
+    ordered = sorted(set(findings))
+    lines: List[str] = [
+        "# lint_baseline.toml -- generated by `hetesim lint "
+        "--write-baseline`.",
+        "# Replace every placeholder reason with a real one-line "
+        "justification.",
+    ]
+    for finding in ordered:
+        lines.append("")
+        lines.append("[[suppression]]")
+        lines.append(f'rule = "{finding.rule}"')
+        lines.append(f'path = "{finding.path}"')
+        lines.append(f"line = {finding.line}")
+        lines.append(
+            'reason = "unreviewed: generated by --write-baseline; '
+            'replace with a real justification"'
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(ordered)
+
+
+# ----------------------------------------------------------------------
+# minimal TOML-subset parser (Python 3.10 fallback)
+# ----------------------------------------------------------------------
+def _parse_toml_subset(
+    text: str, path: str
+) -> Dict[str, List[Dict[str, object]]]:
+    """Parse the exact TOML subset baselines use.
+
+    Supported: ``[[name]]`` array-of-table headers, ``key = "string"``
+    (with ``\\"`` / ``\\\\`` escapes), ``key = <int>``, full-line and
+    trailing comments, blank lines.  Anything else is a hard error --
+    better to reject than to half-parse a suppression file.
+    """
+    tables: Dict[str, List[Dict[str, object]]] = {}
+    current: Optional[Dict[str, object]] = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            if not name:
+                raise AnalysisError(
+                    f"baseline {path}:{number}: empty table name"
+                )
+            current = {}
+            tables.setdefault(name, []).append(current)
+            continue
+        if line.startswith("["):
+            raise AnalysisError(
+                f"baseline {path}:{number}: only [[table]] headers are "
+                "supported"
+            )
+        if current is None:
+            raise AnalysisError(
+                f"baseline {path}:{number}: key outside any [[table]]"
+            )
+        key, equals, rest = line.partition("=")
+        key = key.strip()
+        if not equals or not key:
+            raise AnalysisError(
+                f"baseline {path}:{number}: expected `key = value`"
+            )
+        current[key] = _parse_value(rest.strip(), path, number)
+    return tables
+
+
+def _parse_value(token: str, path: str, number: int) -> object:
+    """One scalar: a double-quoted string or an integer."""
+    if token.startswith('"'):
+        value, remainder = _parse_basic_string(token, path, number)
+        remainder = remainder.strip()
+        if remainder and not remainder.startswith("#"):
+            raise AnalysisError(
+                f"baseline {path}:{number}: trailing junk after string"
+            )
+        return value
+    token = token.split("#", 1)[0].strip()
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise AnalysisError(
+            f"baseline {path}:{number}: unsupported value {token!r} "
+            "(only strings and integers)"
+        ) from exc
+
+
+def _parse_basic_string(
+    token: str, path: str, number: int
+) -> Tuple[str, str]:
+    """Scan a double-quoted string with ``\\"`` and ``\\\\`` escapes."""
+    out: List[str] = []
+    index = 1
+    while index < len(token):
+        char = token[index]
+        if char == "\\":
+            if index + 1 >= len(token):
+                break
+            escape = token[index + 1]
+            if escape in ('"', "\\"):
+                out.append(escape)
+            elif escape == "n":
+                out.append("\n")
+            elif escape == "t":
+                out.append("\t")
+            else:
+                raise AnalysisError(
+                    f"baseline {path}:{number}: unsupported escape "
+                    f"\\{escape}"
+                )
+            index += 2
+            continue
+        if char == '"':
+            return "".join(out), token[index + 1 :]
+        out.append(char)
+        index += 1
+    raise AnalysisError(
+        f"baseline {path}:{number}: unterminated string"
+    )

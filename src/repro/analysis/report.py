@@ -1,0 +1,83 @@
+"""Report emitters for lint results: human text and machine JSON.
+
+Text is the developer-facing form (``path:line: RULE severity:
+message`` plus a summary line); JSON is what CI and tooling consume
+(``hetesim lint --format json``) -- a stable top-level object with the
+findings, counters and any stale baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from .baseline import Suppression
+from .runner import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult) -> str:
+    """Multi-line human-readable report (the default CLI output)."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.severity}: "
+            f"{finding.message}"
+        )
+    for entry in result.unused:
+        location = entry.path + (
+            f":{entry.line}" if entry.line is not None else ""
+        )
+        lines.append(
+            f"note: unused baseline entry {entry.rule} at {location} "
+            "(stale -- delete it)"
+        )
+    lines.append(
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} baselined, "
+        f"{result.files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON rendering (``--format json``)."""
+    payload: Dict[str, object] = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "severity": finding.severity,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "suppressed": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+            }
+            for finding in result.suppressed
+        ],
+        "unused_suppressions": [
+            _suppression_payload(entry) for entry in result.unused
+        ],
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _suppression_payload(
+    entry: Suppression,
+) -> Dict[str, Union[str, int, None]]:
+    """JSON form of one baseline entry."""
+    return {
+        "rule": entry.rule,
+        "path": entry.path,
+        "line": entry.line,
+        "reason": entry.reason,
+    }

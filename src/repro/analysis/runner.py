@@ -1,0 +1,144 @@
+"""The lint driver: discover files, parse each once, run the rule pack.
+
+:func:`run_lint` is what the CLI (``hetesim lint``), CI and the
+self-audit test call.  Parsing fans out over a thread pool (the only
+genuinely parallel part -- rules themselves run sequentially so they
+may keep per-project state without locking); every file is parsed
+exactly once and the same :class:`~repro.analysis.core.SourceFile` is
+handed to every rule.  Files that fail to parse are reported as rule
+``RPR000`` findings rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .baseline import Baseline, Suppression
+from .core import Finding, Rule, SourceFile, default_rules
+
+__all__ = ["LintResult", "run_lint", "iter_python_files"]
+
+#: Rule id under which unparseable files are reported.
+SYNTAX_RULE = "RPR000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    ``findings`` are the *unbaselined* violations (what blocks CI);
+    ``suppressed`` were matched by the baseline; ``unused`` lists
+    baseline entries that covered nothing (stale debt worth deleting).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    unused: List[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unbaselined was found."""
+        return not self.findings
+
+
+def iter_python_files(
+    paths: Iterable[Union[str, Path]],
+) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = {}
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            seen[candidate.resolve()] = candidate
+    return [seen[key] for key in sorted(seen)]
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Optional[Union[str, Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    jobs: int = 0,
+) -> LintResult:
+    """Lint ``paths`` and return a :class:`LintResult`.
+
+    ``root`` anchors the relative paths findings (and baseline entries)
+    carry; it defaults to the current working directory.  ``rules``
+    defaults to the registered pack
+    (:func:`~repro.analysis.core.default_rules`); ``jobs`` bounds the
+    parse fan-out (``0`` = one thread per core, capped at 8).
+    """
+    root_dir = Path(root) if root is not None else Path.cwd()
+    active: List[Rule] = list(rules) if rules is not None else list(default_rules())
+    files = iter_python_files(paths)
+    if jobs <= 0:
+        jobs = min(8, os.cpu_count() or 1)
+
+    parsed: List[Tuple[Path, Union[SourceFile, Finding]]] = [
+        (path, outcome)
+        for path, outcome in zip(files, _parse_all(files, root_dir, jobs))
+    ]
+
+    findings: List[Finding] = []
+    for _, outcome in parsed:
+        if isinstance(outcome, Finding):
+            findings.append(outcome)
+            continue
+        for rule in active:
+            findings.extend(rule.check(outcome))
+    for rule in active:
+        findings.extend(rule.finalize())
+    findings.sort()
+
+    result = LintResult(files_checked=len(files))
+    if baseline is None:
+        result.findings = findings
+    else:
+        result.findings, result.suppressed, result.unused = (
+            baseline.partition(findings)
+        )
+    return result
+
+
+def _parse_all(
+    files: Sequence[Path], root_dir: Path, jobs: int
+) -> List[Union[SourceFile, Finding]]:
+    """Parse every file (possibly in parallel), preserving order."""
+    if jobs == 1 or len(files) <= 1:
+        return [_parse_one(path, root_dir) for path in files]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(lambda path: _parse_one(path, root_dir), files))
+
+
+def _parse_one(path: Path, root_dir: Path) -> Union[SourceFile, Finding]:
+    """One file's :class:`SourceFile`, or an ``RPR000`` finding."""
+    rel = _relative(path, root_dir)
+    try:
+        return SourceFile.parse(path, rel)
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return Finding(
+            path=rel,
+            line=int(line),
+            rule=SYNTAX_RULE,
+            severity="error",
+            message=f"file could not be parsed: {exc}",
+        )
+
+
+def _relative(path: Path, root_dir: Path) -> str:
+    """POSIX-form path relative to the lint root (absolute if outside)."""
+    try:
+        return path.resolve().relative_to(root_dir.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -25,6 +25,10 @@ Workflows::
     # Artefact health checks: graph file + matrix store directory.
     python -m repro.cli doctor graph.json --store store_dir/
 
+    # Static invariant checks over the library source (repro-lint);
+    # exit 1 on unbaselined findings, so CI can block on it.
+    python -m repro.cli lint [PATHS ...] --format json
+
     # Materialisation-planner execution stats (per-step nnz/time,
     # prefix reuse, evictions) under an optional cache byte budget.
     python -m repro.cli cache-stats graph.json --paths APC APVC \\
@@ -254,6 +258,48 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="store_dir",
         help="matrix-store directory to check (index/payload/checksums)",
     )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro-lint static invariant checks (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (text for humans, json for CI)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint_baseline.toml",
+        help="justification-required allowlist (TOML); ignored if absent",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        dest="no_baseline",
+        help="report every finding, even baselined ones",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        dest="write_baseline",
+        help="write the current findings to --baseline and exit 0 "
+        "(every generated entry still needs a real justification)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="parse worker threads (0 = auto)",
+    )
     return parser
 
 
@@ -279,7 +325,50 @@ def _limits_from(args: argparse.Namespace):
     )
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: no graph involved, pure static analysis."""
+    from pathlib import Path
+
+    from .analysis import (
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and not args.write_baseline and baseline_path.is_file():
+        baseline = load_baseline(baseline_path)
+
+    # Finding paths (what baseline entries match on) are anchored at
+    # the baseline file's directory, so `hetesim lint --baseline
+    # repo/lint_baseline.toml` works from any working directory.
+    root = baseline_path.resolve().parent
+    result = run_lint(
+        args.paths, root=root, baseline=baseline, jobs=args.jobs
+    )
+
+    if args.write_baseline:
+        count = write_baseline(result.findings, baseline_path)
+        print(
+            f"wrote {count} suppression(s) to {baseline_path} -- "
+            "fill in each 'reason' before committing"
+        )
+        return 0
+
+    if args.output_format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        return _run_lint(args)
+
     if args.command == "doctor":
         from .runtime.doctor import run_doctor
 

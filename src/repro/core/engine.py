@@ -280,8 +280,9 @@ class HeteSimEngine:
         through the graph's mutation counters -- but reclaims memory.
         """
         self.cache.clear()
-        self._halves.clear()
-        self._half_signatures.clear()
+        with self._locks_guard:
+            self._halves.clear()
+            self._half_signatures.clear()
 
     # ------------------------------------------------------------------
     # plan introspection

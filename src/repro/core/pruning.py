@@ -23,6 +23,7 @@ overlaps the query's forward distribution -- everything else scores 0.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -69,8 +70,14 @@ class PrunedSearchResult:
 
     @property
     def is_exact(self) -> bool:
-        """True when no forward mass was dropped (support pruning only)."""
-        return self.dropped_mass == 0.0
+        """True when no forward mass was dropped (support pruning only).
+
+        ``dropped_mass`` is a sum of floats, so "zero" is tested with a
+        tolerance rather than ``==`` (lint rule RPR006).
+        """
+        return self.dropped_mass <= 0.0 or math.isclose(
+            self.dropped_mass, 0.0, abs_tol=1e-12
+        )
 
 
 def _drop_smallest_mass(

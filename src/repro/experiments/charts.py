@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence, Tuple
 
+from ..hin.errors import ReportError
+
 __all__ = ["bar_chart", "grouped_bar_chart"]
 
 _BAR = "#"
@@ -25,7 +27,7 @@ def bar_chart(
     empty bars.  Labels are right-padded for alignment.
     """
     if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+        raise ReportError(f"width must be >= 1, got {width}")
     lines = []
     if title:
         lines.append(title)
@@ -54,10 +56,10 @@ def grouped_bar_chart(
     (is the HeteSim bar shorter than the PCRW bar?).
     """
     if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+        raise ReportError(f"width must be >= 1, got {width}")
     for name, values in series.items():
         if len(values) != len(groups):
-            raise ValueError(
+            raise ReportError(
                 f"series {name!r} has {len(values)} values for "
                 f"{len(groups)} groups"
             )

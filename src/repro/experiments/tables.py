@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from ..hin.errors import ReportError
+
 __all__ = ["render_table", "format_score"]
 
 
@@ -32,7 +34,7 @@ def render_table(
     widths = [len(header) for header in headers]
     for row in materialized:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ReportError(
                 f"row has {len(row)} cells but table has "
                 f"{len(headers)} headers: {row}"
             )

@@ -9,12 +9,14 @@ from .builder import GraphBuilder
 from .decomposition import decompose_adjacency
 from .enumerate import enumerate_paths, enumerate_symmetric_paths
 from .errors import (
+    AnalysisError,
     BudgetExceededError,
     DeadlineExceededError,
     GraphError,
     InjectedFaultError,
     PathError,
     QueryError,
+    ReportError,
     ReproError,
     ResourceLimitError,
     SchemaError,
@@ -44,12 +46,14 @@ from .validation import (
 )
 
 __all__ = [
+    "AnalysisError",
     "BudgetExceededError",
     "DeadlineExceededError",
     "GraphBuilder",
     "GraphError",
     "GraphReport",
     "InjectedFaultError",
+    "ReportError",
     "ResourceLimitError",
     "StoreIntegrityError",
     "HeteroGraph",

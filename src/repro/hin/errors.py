@@ -16,6 +16,15 @@ layer that detected them:
   integrity check (checksum mismatch, unreadable payload).
 * :class:`InjectedFaultError` -- a deterministic test fault fired
   (:mod:`repro.runtime.faults`); never raised in production use.
+* :class:`ReportError` -- an experiment table/chart renderer received
+  ill-formed inputs (:mod:`repro.experiments`).
+* :class:`AnalysisError` -- the static-analysis layer
+  (:mod:`repro.analysis`) was misconfigured (malformed baseline, bad
+  rule setup).
+
+The typed-error discipline is machine-checked: lint rule **RPR002**
+(``hetesim lint``) flags any ``raise`` of a bare builtin exception in
+library code.
 """
 
 from __future__ import annotations
@@ -102,6 +111,21 @@ class StoreIntegrityError(ReproError):
     payload's checksum disagrees with its index entry -- the signature of
     a torn write or on-disk corruption.
     """
+
+
+class ReportError(ReproError):
+    """An experiment table/chart renderer received ill-formed inputs.
+
+    Raised by :mod:`repro.experiments.tables` /
+    :mod:`repro.experiments.charts` for mismatched row or series
+    lengths and non-positive render widths.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis layer (:mod:`repro.analysis`) was
+    misconfigured: a malformed ``lint_baseline.toml``, an entry missing
+    its required justification, or an invalid rule setup."""
 
 
 class InjectedFaultError(ReproError):

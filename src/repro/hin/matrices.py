@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 from scipy import sparse
 
+from .errors import QueryError
 from .graph import HeteroGraph
 from .metapath import MetaPath
 
@@ -100,7 +101,7 @@ def transition_matrix(
         return row_normalize(adjacency)
     if direction == "V":
         return col_normalize(adjacency)
-    raise ValueError(f"direction must be 'U' or 'V', got {direction!r}")
+    raise QueryError(f"direction must be 'U' or 'V', got {direction!r}")
 
 
 def factor_matrix(

@@ -147,8 +147,9 @@ class FaultPlan:
 
     def reset(self) -> None:
         """Rewind all site counters and the fired log (specs are kept)."""
-        self._counters.clear()
-        self.fired.clear()
+        with self._counter_lock:
+            self._counters.clear()
+            self.fired.clear()
 
     def occurrences(self, site: str) -> int:
         """How many times ``site`` has been reached so far."""

@@ -1,0 +1,179 @@
+"""Baseline allowlist: validation, matching semantics, the TOML subset.
+
+The baseline is the linter's pressure valve; these tests pin the parts
+that keep it honest -- every entry needs a reason, unknown keys are
+rejected, unused entries are surfaced, and the 3.10 fallback parser
+agrees with tomllib on the subset it supports.
+"""
+
+import pytest
+
+from repro.analysis import Suppression, load_baseline, write_baseline
+from repro.analysis.baseline import _parse_toml_subset
+from repro.analysis.core import Finding
+from repro.hin.errors import AnalysisError
+
+
+def finding(rule="RPR001", path="src/repro/m.py", line=10, message="msg"):
+    return Finding(
+        path=path, line=line, rule=rule, severity="error", message=message
+    )
+
+
+class TestSuppressionMatching:
+    def test_rule_and_path_must_match(self):
+        entry = Suppression(rule="RPR001", path="src/repro/m.py", reason="r")
+        assert entry.covers(finding())
+        assert not entry.covers(finding(rule="RPR002"))
+        assert not entry.covers(finding(path="src/repro/other.py"))
+
+    def test_line_pin(self):
+        entry = Suppression(
+            rule="RPR001", path="src/repro/m.py", reason="r", line=10
+        )
+        assert entry.covers(finding(line=10))
+        assert not entry.covers(finding(line=11))
+
+    def test_message_substring(self):
+        entry = Suppression(
+            rule="RPR001", path="src/repro/m.py", reason="r", match="._halves"
+        )
+        assert entry.covers(finding(message="writes self._halves here"))
+        assert not entry.covers(finding(message="something else"))
+
+
+class TestLoadBaseline:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'line = 10\n'
+            'reason = "bounded row densification"\n'
+        )
+        baseline = load_baseline(path)
+        assert len(baseline.suppressions) == 1
+        entry = baseline.suppressions[0]
+        assert entry.rule == "RPR001"
+        assert entry.line == 10
+        assert entry.reason == "bounded row densification"
+
+    def test_missing_reason_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\nrule = "RPR001"\npath = "src/repro/m.py"\n'
+        )
+        with pytest.raises(AnalysisError, match="reason"):
+            load_baseline(path)
+
+    def test_blank_reason_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'reason = "  "\n'
+        )
+        with pytest.raises(AnalysisError, match="reason"):
+            load_baseline(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'reason = "ok"\n'
+            'because = "typo for reason"\n'
+        )
+        with pytest.raises(AnalysisError, match="unknown"):
+            load_baseline(path)
+
+    def test_partition_reports_unused(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'reason = "live"\n'
+            '\n'
+            '[[suppression]]\n'
+            'rule = "RPR009"\n'
+            'path = "src/repro/gone.py"\n'
+            'reason = "stale"\n'
+        )
+        baseline = load_baseline(path)
+        unbaselined, suppressed, unused = baseline.partition([finding()])
+        assert unbaselined == []
+        assert len(suppressed) == 1
+        assert [entry.reason for entry in unused] == ["stale"]
+
+
+class TestWriteBaseline:
+    def test_written_file_loads_and_covers(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        findings = [finding(line=3), finding(rule="RPR002", line=7)]
+        count = write_baseline(findings, path)
+        assert count == 2
+        baseline = load_baseline(path)
+        unbaselined, suppressed, unused = baseline.partition(findings)
+        assert unbaselined == []
+        assert len(suppressed) == 2
+        assert unused == []
+        assert all(
+            "unreviewed" in entry.reason for entry in baseline.suppressions
+        )
+
+
+class TestTomlSubsetParser:
+    """The 3.10 fallback must agree with tomllib on the subset it supports."""
+
+    def test_tables_strings_ints_comments(self):
+        text = (
+            "# header comment\n"
+            "[[suppression]]\n"
+            'rule = "RPR001"  # trailing comment\n'
+            "line = 10\n"
+            '\n'
+            "[[suppression]]\n"
+            'rule = "RPR002"\n'
+        )
+        tables = _parse_toml_subset(text, "x.toml")
+        assert tables == {
+            "suppression": [
+                {"rule": "RPR001", "line": 10},
+                {"rule": "RPR002"},
+            ]
+        }
+
+    def test_escapes(self):
+        tables = _parse_toml_subset(
+            '[[s]]\nreason = "say \\"hi\\" \\\\ done"\n', "x.toml"
+        )
+        assert tables["s"][0]["reason"] == 'say "hi" \\ done'
+
+    def test_agrees_with_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        text = (
+            "[[suppression]]\n"
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            "line = 12\n"
+            'reason = "why \\"quoted\\""\n'
+        )
+        assert _parse_toml_subset(text, "x.toml") == tomllib.loads(text)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "[plain_table]\n",
+            "key_outside = 1\n",
+            '[[s]]\nreason = "unterminated\n',
+            "[[s]]\nvalue = 1.5\n",
+            '[[s]]\nreason = "x" junk\n',
+        ],
+    )
+    def test_unsupported_syntax_is_a_hard_error(self, bad):
+        with pytest.raises(AnalysisError):
+            _parse_toml_subset(bad, "x.toml")

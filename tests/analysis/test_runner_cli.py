@@ -1,0 +1,137 @@
+"""The lint driver and the ``hetesim lint`` CLI surface.
+
+Covers file discovery, RPR000 syntax reporting, baseline wiring,
+both report formats, and the exit-code contract CI relies on
+(0 clean / 1 unbaselined findings / 2 analysis errors).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import run_lint, render_json, render_text
+from repro.cli import main
+
+CLEAN = "def f():\n    return 1\n"
+VIOLATION = "def f(m):\n    return m.toarray()\n"
+
+
+def test_run_lint_clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    result = run_lint([tmp_path], root=tmp_path)
+    assert result.ok
+    assert result.files_checked == 1
+    assert result.findings == []
+
+
+def test_run_lint_finds_violation_with_relative_path(tmp_path):
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "bad.py").write_text(VIOLATION)
+    result = run_lint([tmp_path], root=tmp_path)
+    assert not result.ok
+    assert [(f.rule, f.path, f.line) for f in result.findings] == [
+        ("RPR001", "pkg/bad.py", 2)
+    ]
+
+
+def test_syntax_error_reported_as_rpr000(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    result = run_lint([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["RPR000"]
+    assert result.files_checked == 1
+
+
+def test_duplicate_paths_deduplicated(tmp_path):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    result = run_lint([tmp_path, tmp_path / "ok.py"], root=tmp_path)
+    assert result.files_checked == 1
+
+
+def test_render_text_and_json_agree(tmp_path):
+    (tmp_path / "bad.py").write_text(VIOLATION)
+    result = run_lint([tmp_path], root=tmp_path)
+    text = render_text(result)
+    assert "bad.py:2: RPR001 error:" in text
+    assert "1 finding(s), 0 baselined, 1 file(s) checked" in text
+    payload = json.loads(render_json(result))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "RPR001"
+    assert payload["findings"][0]["line"] == 2
+
+
+class TestCliLint:
+    def run(self, *argv):
+        return main(["lint", *argv])
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        assert self.run(str(tmp_path)) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        assert self.run(str(tmp_path)) == 1
+        assert "RPR001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        assert self.run(str(tmp_path), "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RPR001"
+
+    def test_baseline_suppresses(self, tmp_path, capsys):
+        # Entry paths are relative to the baseline file's directory.
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        baseline = tmp_path / "baseline.toml"
+        baseline.write_text(
+            "[[suppression]]\n"
+            'rule = "RPR001"\n'
+            'path = "bad.py"\n'
+            'reason = "fixture"\n'
+        )
+        assert (
+            self.run(str(tmp_path), "--baseline", str(baseline)) == 0
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_flag_overrides(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        baseline = tmp_path / "baseline.toml"
+        baseline.write_text(
+            "[[suppression]]\n"
+            'rule = "RPR001"\n'
+            'path = "bad.py"\n'
+            'reason = "fixture"\n'
+        )
+        assert (
+            self.run(
+                str(tmp_path), "--baseline", str(baseline), "--no-baseline"
+            )
+            == 1
+        )
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION)
+        baseline = tmp_path / "baseline.toml"
+        assert (
+            self.run(
+                str(tmp_path), "--baseline", str(baseline), "--write-baseline"
+            )
+            == 0
+        )
+        assert baseline.is_file()
+        capsys.readouterr()
+        assert self.run(str(tmp_path), "--baseline", str(baseline)) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        baseline = tmp_path / "baseline.toml"
+        baseline.write_text(
+            '[[suppression]]\nrule = "RPR001"\npath = "x.py"\n'
+        )  # no reason
+        assert self.run(str(tmp_path), "--baseline", str(baseline)) == 2
+        assert "error:" in capsys.readouterr().err

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.charts import bar_chart, grouped_bar_chart
+from repro.hin.errors import ReportError
 
 
 class TestBarChart:
@@ -33,7 +34,7 @@ class TestBarChart:
         assert "#" not in lines[0]
 
     def test_bad_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReportError):
             bar_chart([("a", 1.0)], width=0)
 
     def test_labels_aligned(self):
@@ -60,12 +61,12 @@ class TestGroupedBarChart:
         assert "KDD" in text and "SIGMOD" in text
 
     def test_length_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReportError):
             grouped_bar_chart(["g1", "g2"], {"a": [1.0]})
 
     def test_empty_groups(self):
         assert "(no data)" in grouped_bar_chart([], {"a": []})
 
     def test_bad_width(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReportError):
             grouped_bar_chart(["g"], {"a": [1.0]}, width=-1)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.__main__ import main
 from repro.experiments.tables import format_score, render_table
+from repro.hin.errors import ReportError
 
 
 class TestRenderTable:
@@ -25,7 +26,7 @@ class TestRenderTable:
         assert "1" in text and "0.5" in text
 
     def test_row_width_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ReportError):
             render_table(["A", "B"], [["only-one"]])
 
     def test_empty_rows_ok(self):

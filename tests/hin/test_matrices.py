@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from scipy import sparse
 
+from repro.hin.errors import QueryError
 from repro.hin.matrices import (
     col_normalize,
     reachable_probability_matrix,
@@ -83,7 +84,7 @@ class TestTransitionMatrix:
         np.testing.assert_allclose(v_ap, u_pa.T)
 
     def test_bad_direction_rejected(self, fig4):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             transition_matrix(fig4, "writes", "X")
 
     def test_u_rows_stochastic(self, fig4):

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.runtime",
     "repro.serve",
+    "repro.analysis",
 ]
 
 
@@ -83,12 +84,14 @@ def test_version_marker():
 def test_base_error_catches_everything():
     """Every library error type derives from ReproError."""
     from repro.hin.errors import (
+        AnalysisError,
         BudgetExceededError,
         DeadlineExceededError,
         GraphError,
         InjectedFaultError,
         PathError,
         QueryError,
+        ReportError,
         ReproError,
         ResourceLimitError,
         SchemaError,
@@ -105,6 +108,8 @@ def test_base_error_catches_everything():
         BudgetExceededError,
         StoreIntegrityError,
         InjectedFaultError,
+        ReportError,
+        AnalysisError,
     ):
         assert issubclass(error_type, ReproError)
 
