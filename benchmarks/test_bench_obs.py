@@ -1,0 +1,172 @@
+"""Observability overhead benchmarks: tracing must be ~free when off.
+
+PR 5 threads spans and metrics through every serving hot path.  The
+contract: with the tracer *disabled* (the default), the instrumented
+batch path stays within 5% of the pre-instrumentation batched
+throughput recorded in ``BENCH_serve.json`` (the PR-3 serve bench
+trajectory, same workload, same sizes, same seed); with the tracer
+*enabled*, the slowdown stays bounded (span allocation is per group /
+materialisation, not per query).  Results land in ``BENCH_obs.json``.
+
+Under ``--benchmark-disable`` (the CI smoke mode) the network shrinks
+and nothing is asserted about timing -- the run only proves the traced
+and untraced paths still answer identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+from repro.obs.trace import TRACER
+from repro.serve import BatchRequest, Query, QueryServer
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+SERVE_RESULTS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+)
+
+N_QUERIES = 64
+TOP_K = 10
+FULL_SIZES = {"author": 1200, "paper": 2400, "conf": 200}
+QUICK_SIZES = {"author": 60, "paper": 90, "conf": 12}
+REPEATS = 7
+
+#: Disabled-tracer overhead tolerance vs the PR-3 serve trajectory.
+DISABLED_TOLERANCE = 1.05
+#: Enabled-tracer slowdown bound vs the disabled run (spans are
+#: per-group, not per-query, so this is generous headroom).
+ENABLED_RATIO_BOUND = 1.5
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+def _quick(config) -> bool:
+    try:
+        return bool(config.getoption("--benchmark-disable"))
+    except (ValueError, KeyError):
+        return False
+
+
+@pytest.fixture(scope="module")
+def obs_hin(request):
+    sizes = QUICK_SIZES if _quick(request.config) else FULL_SIZES
+    return make_random_hin(
+        _schema(),
+        sizes=sizes,
+        edge_prob=8.0 / sizes["paper"],
+        edge_probs={"published_in": 3.0 / sizes["conf"]},
+        seed=11,
+        ensure_connected_rows=True,
+    )
+
+
+@pytest.fixture()
+def tracer_off():
+    """Guarantee the process tracer is disabled and clean afterwards."""
+    TRACER.disable()
+    TRACER.reset()
+    yield TRACER
+    TRACER.disable()
+    TRACER.reset()
+
+
+def _run_batch(graph):
+    """One warmed batched run; returns (seconds, results)."""
+    server = QueryServer(HeteSimEngine(graph))
+    batch = BatchRequest(
+        [
+            Query(source, "APC", k=TOP_K)
+            for source in graph.node_keys("author")[:N_QUERIES]
+        ]
+    )
+    server.run(batch)  # warm the halves: measure the on-line path
+    start = time.perf_counter()
+    response = server.run(batch)
+    return time.perf_counter() - start, response.results
+
+
+def _best(graph, repeats: int):
+    best_seconds = None
+    results = None
+    for _ in range(repeats):
+        seconds, results = _run_batch(graph)
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    return best_seconds, results
+
+
+def test_tracing_overhead(obs_hin, request, tracer_off):
+    quick = _quick(request.config)
+    repeats = 1 if quick else REPEATS
+
+    disabled_seconds, disabled_results = _best(obs_hin, repeats)
+
+    tracer_off.enable()
+    try:
+        enabled_seconds, enabled_results = _best(obs_hin, repeats)
+    finally:
+        tracer_off.disable()
+
+    # Tracing must never change an answer.
+    assert enabled_results == disabled_results
+    assert tracer_off.roots, "enabled tracer recorded no batch spans"
+
+    if quick:
+        return
+
+    ratio = (
+        enabled_seconds / disabled_seconds
+        if disabled_seconds > 0
+        else float("inf")
+    )
+    reference = None
+    if SERVE_RESULTS_PATH.exists():
+        serve_results = json.loads(SERVE_RESULTS_PATH.read_text())
+        reference = serve_results.get("single_path_batch", {}).get(
+            "batched_seconds"
+        )
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "tracing_overhead": {
+                    "n_queries": N_QUERIES,
+                    "k": TOP_K,
+                    "path": "APC",
+                    "sizes": FULL_SIZES,
+                    "repeats": repeats,
+                    "disabled_seconds": disabled_seconds,
+                    "enabled_seconds": enabled_seconds,
+                    "enabled_over_disabled": ratio,
+                    "serve_reference_seconds": reference,
+                }
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert ratio <= ENABLED_RATIO_BOUND, (
+        f"enabled tracing slows the batch {ratio:.2f}x "
+        f"(bound {ENABLED_RATIO_BOUND}x)"
+    )
+    if reference is not None:
+        assert disabled_seconds <= reference * DISABLED_TOLERANCE, (
+            f"instrumented batch with tracing off took "
+            f"{disabled_seconds:.6f}s vs the {reference:.6f}s serve "
+            f"trajectory (tolerance {DISABLED_TOLERANCE}x): "
+            f"observability is not free when off"
+        )

@@ -11,6 +11,10 @@ trajectory).
 Under ``--benchmark-disable`` (the CI smoke mode) the network shrinks,
 nothing is asserted about timing and the JSON is not rewritten -- the
 run only proves the serving path still imports and answers correctly.
+A JSON dump of the observability registry is always written next to
+the results (``BENCH_serve_metrics.json``); CI uploads it as an
+artifact, so every smoke run leaves an inspectable record of cache
+hits, materialisations and GEMM timings.
 """
 
 from __future__ import annotations
@@ -27,9 +31,13 @@ from repro.core.hetesim import hetesim_all_targets
 from repro.core.search import select_top_k
 from repro.datasets.random_hin import make_random_hin
 from repro.hin.schema import NetworkSchema
+from repro.obs.export import render_json
 from repro.serve import BatchRequest, Query, QueryServer
 
 RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+METRICS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_serve_metrics.json"
+)
 
 N_QUERIES = 64
 TOP_K = 10
@@ -182,3 +190,17 @@ def test_parallel_materialisation_scaling(serve_hin, request):
             ),
         },
     )
+
+
+def test_metrics_dump_written_last():
+    """Snapshot the observability registry next to the results.
+
+    Runs after the serving benches (pytest executes this file in
+    definition order), so the dump reflects their cache hits, halves
+    materialisations, batch group sizes and GEMM timings.  Written in
+    quick mode too: the CI smoke step uploads it as an artifact.
+    """
+    METRICS_PATH.write_text(render_json() + "\n")
+    dumped = json.loads(METRICS_PATH.read_text())
+    assert "repro_halves_materialisations_total" in dumped
+    assert "repro_batch_gemm_seconds" in dumped

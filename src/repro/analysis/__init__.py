@@ -15,6 +15,9 @@ makes those invariants machine-checked on every push:
   context propagation, RPR006 float-literal equality).
 * :mod:`repro.analysis.lockgraph` -- RPR004 lock discipline: static
   guaranteed-held analysis plus lock-order cycle detection.
+* :mod:`repro.analysis.pairs` -- RPR007 paired-state atomicity:
+  unlocked same-key accesses to two separate ``_``-prefixed dicts
+  (the stale-halves TOCTOU shape fixed in PR 5).
 * :mod:`repro.analysis.runner` / :mod:`~repro.analysis.report` -- the
   driver and the text/JSON emitters behind ``hetesim lint``.
 * :mod:`repro.analysis.baseline` -- the justification-required
@@ -39,6 +42,7 @@ from .core import (
     registered_rules,
 )
 from .lockgraph import LockDisciplineRule
+from .pairs import PairedStateRule
 from .report import render_json, render_text
 from .rules import (
     ContextPropagationRule,
@@ -59,6 +63,7 @@ __all__ = [
     "LintResult",
     "LockDisciplineRule",
     "NondeterminismRule",
+    "PairedStateRule",
     "Rule",
     "SourceFile",
     "Suppression",

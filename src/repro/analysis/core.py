@@ -199,7 +199,7 @@ def default_rules() -> List[BaseRule]:
 
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules so their ``@register`` calls ran."""
-    from . import lockgraph, rules  # noqa: F401  (imported for side effect)
+    from . import lockgraph, pairs, rules  # noqa: F401  (side effect)
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,203 @@
+"""RPR007: two-step unlocked access pairing separate ``_``-dicts.
+
+The stale-halves bug fixed in PR 5 had this exact shape: a fast path
+read ``self._halves.get(key)`` and then, in a *second* unlocked step,
+validated it against ``self._half_signatures.get(key)``.  Each read is
+individually atomic under the GIL, but nothing makes the *pair* atomic:
+a writer can replace both entries between the two reads, letting the
+caller pair a stale cached value with a fresh signature.  The fix is
+structural -- store one ``(signature, value)`` tuple per key so a
+single read yields a consistent pair.
+
+This rule machine-checks for the hazard: within one method of a
+lock-disciplined class (the same notion :mod:`repro.analysis.lockgraph`
+uses -- a class that assigns a ``Lock``/``RLock`` to ``self._*`` or
+declares itself thread-safe), it flags *keyed accesses to two distinct
+``_``-prefixed mapping attributes with the same key expression, where
+both accesses happen with no lock held*.  "Keyed access" covers
+``self._d[key]`` in any context and ``self._d.get/pop/setdefault(key,
+...)``; key expressions are compared structurally (``ast.dump``), so
+``self._a[k]`` pairs with ``self._b.get(k)`` but not with
+``self._b[other]``.
+
+Guaranteed-held propagation is shared with RPR004: a private helper
+whose every intra-class call site holds the lock is analysed as
+lock-held, so ``_materialise_under_lock`` patterns need no baseline.
+Like every repro-lint rule, genuinely safe occurrences (e.g. pairs made
+consistent by an external protocol) are suppressed via
+``lint_baseline.toml`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from .core import BaseRule, Finding, SourceFile, register
+from .lockgraph import CONSTRUCTION_METHODS, _guaranteed_held, _scan_class, _self_attr
+
+__all__ = ["PairedStateRule"]
+
+#: Mapping methods whose first positional argument is a key.
+KEYED_METHODS = frozenset({"get", "pop", "setdefault"})
+
+
+@dataclass(frozen=True)
+class _KeyedAccess:
+    """One keyed read/write of a ``_``-prefixed mapping attribute."""
+
+    attr: str
+    key: str
+    line: int
+
+
+@register
+class PairedStateRule(BaseRule):
+    """RPR007: unlocked same-key accesses to two separate ``_``-dicts.
+
+    See the module docstring of :mod:`repro.analysis.pairs` for the
+    exact model (keyed-access forms, structural key identity, shared
+    guaranteed-held propagation with RPR004).
+    """
+
+    rule_id = "RPR007"
+    summary = (
+        "two-step unlocked access pairing separate _-prefixed dicts by "
+        "one key in a thread-safe class"
+    )
+
+    def check(self, file: SourceFile) -> List[Finding]:
+        """Flag unlocked same-key pairs in each lock-disciplined class."""
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _scan_class(node, file.rel)
+            if info is None:
+                continue
+            guaranteed = _guaranteed_held(info)
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if item.name in CONSTRUCTION_METHODS:
+                    continue
+                base = guaranteed.get(item.name, frozenset())
+                accesses: List[_KeyedAccess] = []
+                for statement in item.body:
+                    _collect(
+                        statement, base, info.lock_attrs, accesses
+                    )
+                findings.extend(
+                    self._pairs(file, node.name, item.name, accesses)
+                )
+        return findings
+
+    def _pairs(
+        self,
+        file: SourceFile,
+        class_name: str,
+        method_name: str,
+        accesses: List[_KeyedAccess],
+    ) -> List[Finding]:
+        """One finding per key expression touching >= 2 distinct dicts."""
+        by_key: Dict[str, List[_KeyedAccess]] = {}
+        for access in accesses:
+            by_key.setdefault(access.key, []).append(access)
+        findings: List[Finding] = []
+        for group in by_key.values():
+            attrs = sorted({access.attr for access in group})
+            if len(attrs) < 2:
+                continue
+            line = max(
+                min(a.line for a in group if a.attr == attr)
+                for attr in attrs
+            )
+            names = ", ".join(f"self.{attr}" for attr in attrs)
+            findings.append(
+                Finding(
+                    path=file.rel,
+                    line=line,
+                    rule=self.rule_id,
+                    severity="error",
+                    message=(
+                        f"{class_name}.{method_name}: unlocked accesses "
+                        f"to {names} with the same key are not atomic "
+                        "as a pair -- a concurrent writer can interleave "
+                        "between the two steps; hold the lock, or fuse "
+                        "the dicts into one entry holding a consistent "
+                        "tuple"
+                    ),
+                )
+            )
+        return findings
+
+
+def _collect(
+    node: ast.AST,
+    held: FrozenSet[str],
+    lock_attrs: FrozenSet[str],
+    accesses: List[_KeyedAccess],
+) -> None:
+    """Record keyed accesses reached with no lock held.
+
+    Mirrors the held-set tracking of :func:`repro.analysis.lockgraph._scan`:
+    ``with self.<lock>`` extends the held set lexically, and nested
+    callables restart from an empty set (they may run later, on another
+    thread, without the enclosing locks).
+    """
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired: Set[str] = set()
+        for item in node.items:
+            _collect(item.context_expr, held, lock_attrs, accesses)
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in lock_attrs:
+                acquired.add(attr)
+        inner = held | acquired
+        for statement in node.body:
+            _collect(statement, inner, lock_attrs, accesses)
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for statement in body:
+            _collect(statement, frozenset(), lock_attrs, accesses)
+        return
+
+    access = _keyed_access(node)
+    if access is not None and not held:
+        accesses.append(access)
+    for child in ast.iter_child_nodes(node):
+        _collect(child, held, lock_attrs, accesses)
+
+
+def _keyed_access(node: ast.AST) -> Optional[_KeyedAccess]:
+    """The keyed-access event of one node, if it is one.
+
+    ``self._d[key]`` (any expression context) and
+    ``self._d.get/pop/setdefault(key, ...)`` both count; the key is
+    identified structurally via :func:`ast.dump`.
+    """
+    receiver: Optional[ast.expr] = None
+    key: Optional[ast.expr] = None
+    line = 0
+    if isinstance(node, ast.Subscript):
+        receiver = node.value
+        key = node.slice
+        line = node.lineno
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in KEYED_METHODS
+        and node.args
+    ):
+        receiver = node.func.value
+        key = node.args[0]
+        line = node.lineno
+    if receiver is None or key is None:
+        return None
+    attr = _self_attr(receiver)
+    if attr is None or not attr.startswith("_"):
+        return None
+    return _KeyedAccess(attr=attr, key=ast.dump(key), line=line)

@@ -40,9 +40,14 @@ Workflows::
         --workers 4 --store store_dir/
 
     # Batched serving: many queries answered with group-by-path block
-    # GEMM scoring (SOURCE:PATH items).
+    # GEMM scoring (SOURCE:PATH items); --trace prints the span tree.
     python -m repro.cli serve-batch graph.json \\
-        --queries Tom:APC Mary:APC Tom:APVC -k 5 --workers 4
+        --queries Tom:APC Mary:APC Tom:APVC -k 5 --workers 4 --trace
+
+    # Observability exports: run a warm+batch workload, then emit the
+    # metric registry (Prometheus text or JSON) or the recorded spans.
+    python -m repro.cli metrics graph.json --paths APC APVC --format json
+    python -m repro.cli trace graph.json --paths APC --workers 2
 
 Graphs are the JSON documents produced by
 :func:`repro.hin.io.save_graph`.
@@ -241,6 +246,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true",
         help="rank by raw meeting probability instead of the cosine",
     )
+    serve_batch.add_argument(
+        "--trace", action="store_true",
+        help="record execution spans and print the span tree to stderr",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a warm+batch workload and export the obs metrics",
+    )
+    metrics.add_argument("graph")
+    metrics.add_argument(
+        "--paths",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="path specs to warm and serve, e.g. APC APVC",
+    )
+    metrics.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent materialisation/scoring threads",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        dest="output_format",
+        help="export format: Prometheus text (prom) or JSON",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a warm+batch workload and print the recorded span trees",
+    )
+    trace.add_argument("graph")
+    trace.add_argument(
+        "--paths",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="path specs to warm and serve, e.g. APC APVC",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent materialisation/scoring threads",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="span-tree rendering (indented text or JSON)",
+    )
 
     validate = commands.add_parser(
         "validate", help="structural validation report"
@@ -365,6 +426,37 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _exercise_workload(graph, specs, workers: int):
+    """Warm, re-query and batch-serve ``specs`` on a fresh engine.
+
+    The shared workload behind the ``metrics`` and ``trace`` commands:
+    it touches every instrumented layer -- half materialisation
+    (warm), the path-matrix cache including full-key hits (a second
+    materialisation pass), and group-by-path batch scoring with its
+    block GEMMs -- so the exported series are all nonzero on any
+    non-trivial graph.
+    """
+    from .core.hetesim import half_reach_matrices
+    from .serve import BatchRequest, Query, QueryServer
+
+    engine = HeteSimEngine(graph)
+    engine.warm(specs, workers=workers)
+    for _ in range(2):  # second pass = full-key cache hits
+        for spec in specs:
+            half_reach_matrices(graph, engine.path(spec), cache=engine.cache)
+    queries = []
+    for spec in specs:
+        meta = engine.path(spec)
+        keys = graph.node_keys(meta.source_type.name)
+        if keys:
+            queries.append(Query(keys[0], spec, k=5))
+    if queries:
+        QueryServer(engine).run(
+            BatchRequest(queries, workers=workers)
+        )
+    return engine
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
@@ -462,9 +554,17 @@ def _dispatch(args: argparse.Namespace) -> int:
                 )
             )
         server = QueryServer(HeteSimEngine(graph))
-        result = server.run(
-            BatchRequest(queries, workers=args.workers)
-        )
+        if args.trace:
+            from .obs import TRACER
+
+            TRACER.enable()
+        try:
+            result = server.run(
+                BatchRequest(queries, workers=args.workers)
+            )
+        finally:
+            if args.trace:
+                TRACER.disable()
         for answer in result.results:
             print(f"{answer.query.source} | {answer.query.path}:")
             for rank, (key, score) in enumerate(
@@ -472,6 +572,40 @@ def _dispatch(args: argparse.Namespace) -> int:
             ):
                 print(f"  {rank:3d}  {key}  {score:.6f}")
         print(result.stats.summary(), file=sys.stderr)
+        if args.trace:
+            for root in TRACER.roots:
+                print(root.render(), file=sys.stderr)
+        return 0
+
+    if args.command == "metrics":
+        from .obs import prometheus_text, render_json
+
+        _exercise_workload(graph, args.paths, args.workers)
+        if args.output_format == "json":
+            print(render_json())
+        else:
+            print(prometheus_text(), end="")
+        return 0
+
+    if args.command == "trace":
+        import json as _json
+
+        from .obs import TRACER
+
+        TRACER.enable()
+        try:
+            _exercise_workload(graph, args.paths, args.workers)
+        finally:
+            TRACER.disable()
+        if args.output_format == "json":
+            print(
+                _json.dumps(
+                    [root.to_dict() for root in TRACER.roots], indent=2
+                )
+            )
+        else:
+            for root in TRACER.roots:
+                print(root.render())
         return 0
 
     engine = HeteSimEngine(graph)

@@ -32,9 +32,25 @@ from scipy import sparse
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import factor_matrix
 from ..hin.metapath import MetaPath
+from ..obs.metrics import NNZ_BUCKETS, REGISTRY, SECONDS_BUCKETS
+from ..obs.trace import span as trace_span
 from ..runtime.faults import SITE_EXECUTOR_STEP
 from ..runtime.limits import ExecutionContext, current_context
 from .plan import Factor, PathKey, PathPlan, plan_path
+
+_PLANS = REGISTRY.counter(
+    "repro_plan_executions_total", "Planned materialisations executed."
+)
+_STEP_SECONDS = REGISTRY.histogram(
+    "repro_plan_step_seconds",
+    "Wall time of one plan-step sparse product.",
+    buckets=SECONDS_BUCKETS,
+)
+_STEP_NNZ = REGISTRY.histogram(
+    "repro_plan_step_nnz",
+    "Nonzeros of one plan-step product.",
+    buckets=NNZ_BUCKETS,
+)
 
 __all__ = [
     "StepStat",
@@ -207,6 +223,25 @@ def execute_plan(
     :class:`~repro.hin.errors.DeadlineExceededError` /
     :class:`~repro.hin.errors.BudgetExceededError`.
     """
+    with trace_span(
+        "plan.execute", path=".".join(plan.key)
+    ) as plan_span:
+        result, stats = _run_plan(graph, plan, store, context)
+        plan_span.set(
+            steps=len(stats.steps),
+            output_nnz=stats.output_nnz,
+            ms=round(stats.seconds * 1e3, 3),
+        )
+        _PLANS.inc()
+        return result, stats
+
+
+def _run_plan(
+    graph: HeteroGraph,
+    plan: PathPlan,
+    store: Optional[StoreFn],
+    context: Optional[ExecutionContext],
+) -> Tuple[sparse.csr_matrix, PlanStats]:
     started = time.perf_counter()
     if context is None:
         context = current_context()
@@ -245,21 +280,29 @@ def execute_plan(
             tracker.check_deadline()
             if step.densify:
                 tracker.check_densify(step.shape[0] * step.shape[1])
-        tick = time.perf_counter()
-        product = _multiply(working[step.left_slot], working[step.right_slot])
-        if step.densify and sparse.issparse(product):
-            product = product.toarray()
-        if truncate_eps > 0.0:
-            product, dropped = _truncate(product, truncate_eps)
-            if context is not None:
-                context.truncated_mass += dropped
-        if tracker is not None:
-            tracker.charge(_nnz(product), _nbytes(product))
-            tracker.check_deadline()
-        elapsed = time.perf_counter() - tick
         description = (
             f"{labels[step.left_slot]} @ {labels[step.right_slot]}"
         )
+        tick = time.perf_counter()
+        with trace_span("plan.step", product=description) as step_span:
+            product = _multiply(
+                working[step.left_slot], working[step.right_slot]
+            )
+            if step.densify and sparse.issparse(product):
+                product = product.toarray()
+            if truncate_eps > 0.0:
+                product, dropped = _truncate(product, truncate_eps)
+                if context is not None:
+                    context.truncated_mass += dropped
+            if tracker is not None:
+                tracker.charge(_nnz(product), _nbytes(product))
+                tracker.check_deadline()
+            elapsed = time.perf_counter() - tick
+            step_span.set(
+                nnz=_nnz(product), ms=round(elapsed * 1e3, 3)
+            )
+        _STEP_SECONDS.observe(elapsed)
+        _STEP_NNZ.observe(_nnz(product))
         if store is not None and step.store_key is not None:
             store(step.store_key, _as_csr(product))
         stats.steps.append(

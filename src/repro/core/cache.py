@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from scipy import sparse
 
 from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
 from ..hin.metapath import MetaPath
+from ..obs.metrics import REGISTRY, instance_label
 from .backend import PlanStats, execute_plan
 from .plan import plan_path
 
@@ -126,9 +127,30 @@ class PathMatrixCache:
         # Insertion order doubles as recency order (moved on touch).
         self._matrices: Dict[PathKey, sparse.csr_matrix] = {}
         self._signatures: Dict[PathKey, Tuple[int, ...]] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # The hit/miss/eviction counters and the volume gauges are this
+        # cache's labelled children of the process-wide registry
+        # families; the public ``hits``/``misses``/``evictions``
+        # attributes below are views over them, so the numbers a test
+        # asserts on and the numbers an exporter scrapes are one series.
+        self.obs_label = instance_label("c")
+        self._hits = REGISTRY.counter(
+            "repro_cache_hits_total",
+            "Path-matrix cache lookups served from the store.",
+        ).labels(cache=self.obs_label)
+        self._misses = REGISTRY.counter(
+            "repro_cache_misses_total",
+            "Path-matrix cache lookups that required materialisation.",
+        ).labels(cache=self.obs_label)
+        self._evictions = REGISTRY.counter(
+            "repro_cache_evictions_total",
+            "Entries evicted to hold the byte budget.",
+        ).labels(cache=self.obs_label)
+        self._entries_gauge = REGISTRY.gauge(
+            "repro_cache_entries", "Materialised path matrices held."
+        ).labels(cache=self.obs_label)
+        self._bytes_gauge = REGISTRY.gauge(
+            "repro_cache_bytes", "Bytes held by cached CSR matrices."
+        ).labels(cache=self.obs_label)
         self.plan_log: List[PlanStats] = []
 
     # ------------------------------------------------------------------
@@ -177,11 +199,16 @@ class PathMatrixCache:
         with self._lock:
             cached = self._matrices.get(key)
             if cached is not None and self._fresh(key):
-                self.hits += 1
+                self._hits.inc()
                 self._touch(key)
                 return cached
-            self.misses += 1
+            self._misses.inc()
 
+        # Capture the versions BEFORE planning/executing: a mutation
+        # landing mid-plan must leave the entry tagged with the older
+        # signature (and therefore stale), never pair pre-mutation data
+        # with the post-mutation signature.
+        versions = self._versions_before_plan(key)
         plan = plan_path(
             self.graph,
             path,
@@ -191,9 +218,9 @@ class PathMatrixCache:
         matrix, stats = execute_plan(
             self.graph,
             plan,
-            store=self._store if self.cache_prefixes else None,
+            store=self._seeder(versions) if self.cache_prefixes else None,
         )
-        self._store(key, matrix)
+        self._store(key, matrix, tuple(versions[name] for name in key))
         self._record(stats)
         return matrix
 
@@ -208,6 +235,7 @@ class PathMatrixCache:
         the cache as usual; the combined product itself is *not* stored
         (it is not the matrix of any meta path).
         """
+        versions = self._versions_before_plan(_key(path))
         plan = plan_path(
             self.graph,
             path,
@@ -218,7 +246,7 @@ class PathMatrixCache:
         matrix, stats = execute_plan(
             self.graph,
             plan,
-            store=self._store if self.cache_prefixes else None,
+            store=self._seeder(versions) if self.cache_prefixes else None,
         )
         self._record(stats)
         return matrix
@@ -231,12 +259,48 @@ class PathMatrixCache:
     # ------------------------------------------------------------------
     # storage and eviction
     # ------------------------------------------------------------------
-    def _store(self, key: PathKey, matrix: sparse.csr_matrix) -> None:
+    def _versions_before_plan(self, key: PathKey) -> Dict[str, int]:
+        """Per-relation versions snapshotted before a plan executes.
+
+        Entries (the product and any seeded prefixes) are tagged from
+        this snapshot.  The graph publishes edge data before bumping
+        versions, so data can only be *newer* than the tag -- a lookup
+        under a newer signature then recomputes -- never older, which
+        would serve stale matrices as fresh forever.
+        """
+        return {
+            name: self.graph.relation_version(name) for name in key
+        }
+
+    def _seeder(
+        self, versions: Dict[str, int]
+    ) -> Callable[[PathKey, sparse.csr_matrix], None]:
+        """Store callback for prefix products seeded mid-execution,
+        tagging each prefix from the pre-plan version snapshot."""
+
+        def store(key: PathKey, matrix: sparse.csr_matrix) -> None:
+            if any(name not in versions for name in key):
+                # Not covered by the snapshot (planner contract breach):
+                # dropping the seed is safe, caching it untagged is not.
+                return
+            self._store(
+                key, matrix, tuple(versions[name] for name in key)
+            )
+
+        return store
+
+    def _store(
+        self,
+        key: PathKey,
+        matrix: sparse.csr_matrix,
+        signature: Tuple[int, ...],
+    ) -> None:
         with self._lock:
             self._matrices.pop(key, None)
             self._matrices[key] = matrix
-            self._signatures[key] = self.graph.relations_signature(key)
+            self._signatures[key] = signature
             self._enforce_budget()
+            self._sync_gauges()
 
     def _enforce_budget(self) -> None:
         """Evict least-recently-used entries until the budget holds."""
@@ -246,7 +310,17 @@ class PathMatrixCache:
             oldest = next(iter(self._matrices))
             del self._matrices[oldest]
             del self._signatures[oldest]
-            self.evictions += 1
+            self._evictions.inc()
+
+    def _sync_gauges(self) -> None:
+        """Refresh the entry/byte level gauges (call under the lock)."""
+        self._entries_gauge.set(len(self._matrices))
+        self._bytes_gauge.set(
+            sum(
+                _matrix_nbytes(matrix)
+                for matrix in self._matrices.values()
+            )
+        )
 
     def put(self, path: MetaPath, matrix: sparse.spmatrix) -> None:
         """Manually store a matrix for a path (e.g. loaded from disk).
@@ -255,7 +329,12 @@ class PathMatrixCache:
         versions; it is the caller's responsibility that the matrix
         matches the current graph.
         """
-        self._store(_key(path), sparse.csr_matrix(matrix))
+        key = _key(path)
+        self._store(
+            key,
+            sparse.csr_matrix(matrix),
+            self.graph.relations_signature(key),
+        )
 
     def contains(self, path: MetaPath) -> bool:
         """True when a *fresh* ``PM_path`` is materialised."""
@@ -268,14 +347,30 @@ class PathMatrixCache:
         with self._lock:
             self._matrices.clear()
             self._signatures.clear()
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._evictions.reset()
+            self._sync_gauges()
             self.plan_log.clear()
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from the store (view over the obs counter)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that materialised (view over the obs counter)."""
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        """Budget evictions (view over the obs counter)."""
+        return int(self._evictions.value)
+
     @property
     def num_cached(self) -> int:
         """Number of materialised path matrices."""

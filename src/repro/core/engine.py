@@ -26,12 +26,15 @@ from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import row_normalize, safe_reciprocal
 from ..hin.metapath import MetaPath, PathSpec
+from ..obs.metrics import REGISTRY, instance_label
+from ..obs.trace import span as trace_span
 from .backend import PlanStats
 from .cache import CacheStats, PathMatrixCache
 
 __all__ = ["HeteSimEngine"]
 
 _HalfKey = Tuple[str, ...]
+_Halves = Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray]
 
 
 def _pair_score(
@@ -87,11 +90,13 @@ class HeteSimEngine:
     ) -> None:
         self.graph = graph
         self.cache = PathMatrixCache(graph, byte_budget=byte_budget)
-        self._halves: Dict[
-            _HalfKey,
-            Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray],
-        ] = {}
-        self._half_signatures: Dict[_HalfKey, Tuple[int, ...]] = {}
+        # One atomic entry per key: ``(signature, halves_tuple)``.  The
+        # signature and the result it belongs to must live in a single
+        # dict value -- a reader doing one ``get`` can then never pair a
+        # stale tuple with a fresh signature, which two side-by-side
+        # dicts allowed whenever a materialisation landed between the
+        # two unlocked reads.
+        self._halves: Dict[_HalfKey, Tuple[Tuple[int, ...], _Halves]] = {}
         # Single-flight materialisation: one lock per half key, so two
         # in-flight queries for the same path share one materialisation
         # (the second blocks, then hits the memo) while distinct paths
@@ -99,6 +104,15 @@ class HeteSimEngine:
         # this).
         self._half_locks: Dict[_HalfKey, threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        self.obs_label = instance_label("e")
+        self._materialisations = REGISTRY.counter(
+            "repro_halves_materialisations_total",
+            "Half-matrix materialisation events.",
+        ).labels(engine=self.obs_label)
+        self._memo_hits = REGISTRY.counter(
+            "repro_halves_memo_hits_total",
+            "halves() calls served from the fresh memo.",
+        ).labels(engine=self.obs_label)
 
     # ------------------------------------------------------------------
     # path handling
@@ -110,9 +124,7 @@ class HeteSimEngine:
     # ------------------------------------------------------------------
     # materialisation
     # ------------------------------------------------------------------
-    def halves(
-        self, path: MetaPath
-    ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray]:
+    def halves(self, path: MetaPath) -> _Halves:
         """``(PM_PL, PM_PR^-1, left_row_norms, right_row_norms)``, cached.
 
         Staleness is tracked per relation: mutating one relation only
@@ -121,22 +133,24 @@ class HeteSimEngine:
         Thread-safe with single-flight deduplication: concurrent calls
         for the same path share one materialisation (later callers
         block briefly, then return the memoised tuple), and calls for
-        distinct paths proceed in parallel.
+        distinct paths proceed in parallel.  The lock-free fast path is
+        sound because the memo holds ``(signature, result)`` as one
+        value: the single ``dict.get`` is atomic under the GIL, so the
+        signature checked always belongs to the tuple returned.
         """
         key = tuple(relation.name for relation in path.relations)
         signature = self.graph.relations_signature(key)
-        cached = self._halves.get(key)
-        if cached is not None and self._half_signatures.get(key) == signature:
-            return cached
+        entry = self._halves.get(key)
+        if entry is not None and entry[0] == signature:
+            self._memo_hits.inc()
+            return entry[1]
         with self._locks_guard:
             key_lock = self._half_locks.setdefault(key, threading.Lock())
         with key_lock:
-            cached = self._halves.get(key)
-            if (
-                cached is not None
-                and self._half_signatures.get(key) == signature
-            ):
-                return cached
+            entry = self._halves.get(key)
+            if entry is not None and entry[0] == signature:
+                self._memo_hits.inc()
+                return entry[1]
             return self._materialise_halves(path, key, signature)
 
     def _materialise_halves(
@@ -144,7 +158,18 @@ class HeteSimEngine:
         path: MetaPath,
         key: _HalfKey,
         signature: Tuple[int, ...],
-    ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray]:
+    ) -> _Halves:
+        with trace_span(
+            "engine.materialise_halves",
+            path=path.code(),
+            engine=self.obs_label,
+        ):
+            result = self._compute_halves(path)
+        self._halves[key] = (signature, result)
+        self._materialisations.inc()
+        return result
+
+    def _compute_halves(self, path: MetaPath) -> _Halves:
         split = path.halves()
         if not split.needs_edge_object:
             left = self.cache.reach_prob(split.left)
@@ -179,23 +204,28 @@ class HeteSimEngine:
         right_norms = np.sqrt(
             np.asarray(right.multiply(right).sum(axis=1))
         ).ravel()
-        result = (left, right, left_norms, right_norms)
-        self._halves[key] = result
-        self._half_signatures[key] = signature
-        return result
+        return (left, right, left_norms, right_norms)
 
     def has_halves(self, path: MetaPath) -> bool:
-        """True when fresh half matrices for ``path`` are memoised.
-
-        Lets the serving layer count how many materialisations a batch
-        actually triggered without recomputing anything.
-        """
+        """True when fresh half matrices for ``path`` are memoised."""
         key = tuple(relation.name for relation in path.relations)
+        entry = self._halves.get(key)
         return (
-            key in self._halves
-            and self._half_signatures.get(key)
-            == self.graph.relations_signature(key)
+            entry is not None
+            and entry[0] == self.graph.relations_signature(key)
         )
+
+    @property
+    def materialisation_count(self) -> int:
+        """Total half-matrix materialisation events on this engine.
+
+        A view over the engine's labelled child of the process-wide
+        ``repro_halves_materialisations_total`` counter; the serving
+        layer diffs it around a batch to count the materialisations the
+        batch actually triggered (pre-probing ``has_halves`` overstates
+        the number under concurrent warming).
+        """
+        return int(self._materialisations.value)
 
     def warm(
         self,
@@ -211,7 +241,15 @@ class HeteSimEngine:
         :class:`~repro.core.store.MatrixStore`) is given, persists the
         half-path ``PM`` matrices so a fresh process can reload them
         with :meth:`MatrixStore.load_into` instead of recomputing.
-        Returns a :class:`~repro.serve.dispatch.WarmReport`.
+
+        Odd (edge-object) paths are memoised in process like any other,
+        but their transition halves are built from a decomposed edge
+        incidence, not a pure path matrix, so they cannot round-trip
+        through a :class:`MatrixStore`.  Such paths are listed in
+        ``WarmReport.skipped`` rather than silently passing as
+        persisted; only their pure-path prefix pieces (when present)
+        are saved.  Returns a
+        :class:`~repro.serve.dispatch.WarmReport`.
         """
         from ..serve.dispatch import Dispatcher, WarmReport
 
@@ -222,13 +260,22 @@ class HeteSimEngine:
             distinct.setdefault(
                 tuple(r.name for r in meta.relations), meta
             )
-        Dispatcher(workers).map(self.halves, list(distinct.values()))
+        with trace_span(
+            "engine.warm",
+            paths=len(distinct),
+            workers=workers,
+            engine=self.obs_label,
+        ):
+            Dispatcher(workers).map(self.halves, list(distinct.values()))
 
         persisted: List[str] = []
+        skipped: List[str] = []
         if store is not None:
             half_paths: Dict[_HalfKey, MetaPath] = {}
             for meta in distinct.values():
                 split = meta.halves()
+                if split.needs_edge_object:
+                    skipped.append(meta.code())
                 pieces = [split.left]
                 if split.right is not None:
                     pieces.append(split.right.reverse())
@@ -246,6 +293,7 @@ class HeteSimEngine:
             persisted=tuple(persisted),
             workers=workers,
             seconds=time.perf_counter() - started,
+            skipped=tuple(skipped),
         )
 
     def runtime(
@@ -282,7 +330,6 @@ class HeteSimEngine:
         self.cache.clear()
         with self._locks_guard:
             self._halves.clear()
-            self._half_signatures.clear()
 
     # ------------------------------------------------------------------
     # plan introspection

@@ -15,10 +15,19 @@ and is served without duplicating storage.
 Edges are buffered in COO form during construction; the CSR matrix for a
 relation is (re)built lazily on first access and cached until the relation
 is mutated again, so interleaved building and querying stays correct.
+
+Concurrency contract: mutators (:meth:`HeteroGraph.add_node`,
+:meth:`HeteroGraph.add_edge`) serialise on a per-graph lock, so version
+counters never lose increments and every version value corresponds to
+exactly one graph state.  Readers take no lock: they may briefly observe
+edge data *newer* than the version they read (data is published before
+the counter is bumped), which staleness checks tolerate, but never the
+reverse.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,7 +61,17 @@ class _TypedNodes:
 
 
 class _RelationEdges:
-    """Edge buffer + cached CSR matrix for a single forward relation."""
+    """Edge buffer + cached CSR matrix for a single forward relation.
+
+    The CSR cache is rebuilt lock-free but race-safely against
+    concurrent :meth:`add` calls: the edge lists are append-only and
+    appended in ``rows``/``cols``/``weights`` order, so the first
+    ``len(weights)`` entries of all three lists are always a mutually
+    consistent prefix; and a rebuild only *caches* its result when the
+    generation counter is unchanged, so a build that raced an ``add``
+    can never overwrite the invalidation the mutation just published
+    (the overwrite would pin a stale matrix for every later reader).
+    """
 
     def __init__(self, relation: RelationType) -> None:
         self.relation = relation
@@ -60,28 +79,36 @@ class _RelationEdges:
         self.cols: List[int] = []
         self.weights: List[float] = []
         self._csr: Optional[sparse.csr_matrix] = None
+        self._generation = 0
 
     def add(self, row: int, col: int, weight: float) -> None:
         self.rows.append(row)
         self.cols.append(col)
         self.weights.append(weight)
+        self._generation += 1
         self._csr = None
 
     def matrix(self, n_rows: int, n_cols: int) -> sparse.csr_matrix:
-        if self._csr is None or self._csr.shape != (n_rows, n_cols):
-            coo = sparse.coo_matrix(
-                (
-                    np.asarray(self.weights, dtype=np.float64),
-                    (np.asarray(self.rows, dtype=np.int64),
-                     np.asarray(self.cols, dtype=np.int64)),
-                ),
-                shape=(n_rows, n_cols),
-            )
-            # Duplicate (i, j) entries accumulate, which matches counting
-            # parallel relation instances (e.g. an author with two papers
-            # in the same venue).
-            self._csr = coo.tocsr()
-        return self._csr
+        cached = self._csr
+        if cached is not None and cached.shape == (n_rows, n_cols):
+            return cached
+        generation = self._generation
+        count = len(self.weights)
+        coo = sparse.coo_matrix(
+            (
+                np.asarray(self.weights[:count], dtype=np.float64),
+                (np.asarray(self.rows[:count], dtype=np.int64),
+                 np.asarray(self.cols[:count], dtype=np.int64)),
+            ),
+            shape=(n_rows, n_cols),
+        )
+        # Duplicate (i, j) entries accumulate, which matches counting
+        # parallel relation instances (e.g. an author with two papers
+        # in the same venue).
+        csr = coo.tocsr()
+        if generation == self._generation:
+            self._csr = csr
+        return csr
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -124,6 +151,11 @@ class HeteroGraph:
         self._relation_versions: Dict[str, int] = {
             r.name: 0 for r in schema.relations
         }
+        # Serialises mutators: without it, concurrent ``+= 1`` bumps can
+        # lose updates, letting a later mutation reuse an
+        # already-observed version and defeating every staleness check
+        # keyed on it.  Reentrant because add_edge nests add_node.
+        self._mutation_lock = threading.RLock()
         # Relations whose matrix shape depends on each type.
         self._relations_by_type: Dict[str, List[str]] = {
             t.name: [] for t in schema.object_types
@@ -155,13 +187,14 @@ class HeteroGraph:
         the original index, so loaders need not deduplicate.
         """
         nodes = self._typed_nodes(type_name)
-        if key not in nodes.index:
-            self._version += 1
-            # A new node changes the matrix shape of every relation
-            # touching this type.
-            for relation_name in self._relations_by_type[type_name]:
-                self._relation_versions[relation_name] += 1
-        return nodes.add(key)
+        with self._mutation_lock:
+            if key not in nodes.index:
+                self._version += 1
+                # A new node changes the matrix shape of every relation
+                # touching this type.
+                for relation_name in self._relations_by_type[type_name]:
+                    self._relation_versions[relation_name] += 1
+            return nodes.add(key)
 
     def add_nodes(self, type_name: str, keys: Iterable[str]) -> List[int]:
         """Bulk :meth:`add_node`; returns the indices in input order."""
@@ -228,11 +261,12 @@ class HeteroGraph:
             forward = relation.inverse()
             self.add_edge(forward.name, target_key, source_key, weight)
             return
-        src_idx = self.add_node(relation.source.name, source_key)
-        tgt_idx = self.add_node(relation.target.name, target_key)
-        self._edges[relation.name].add(src_idx, tgt_idx, weight)
-        self._version += 1
-        self._relation_versions[relation.name] += 1
+        with self._mutation_lock:
+            src_idx = self.add_node(relation.source.name, source_key)
+            tgt_idx = self.add_node(relation.target.name, target_key)
+            self._edges[relation.name].add(src_idx, tgt_idx, weight)
+            self._version += 1
+            self._relation_versions[relation.name] += 1
 
     def add_edges(
         self,

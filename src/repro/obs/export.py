@@ -1,0 +1,139 @@
+"""Prometheus text-format and JSON emitters over a metrics registry.
+
+Both emitters work on a point-in-time snapshot of a
+:class:`~repro.obs.metrics.MetricsRegistry` (the process-wide
+:data:`~repro.obs.metrics.REGISTRY` by default):
+
+* :func:`prometheus_text` -- the `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+  ``# HELP`` / ``# TYPE`` headers, one sample line per series,
+  histograms expanded to cumulative ``_bucket{le=...}`` samples plus
+  ``_sum`` and ``_count``.  The output is byte-stable for a fixed
+  registry state (families name-sorted, children label-sorted), so
+  golden-file tests are exact.
+* :func:`json_snapshot` / :func:`render_json` -- the same information
+  as a plain dict / JSON document, for the benchmark dumps uploaded
+  next to ``BENCH_serve.json`` and for programmatic assertions.
+
+Emission never mutates the registry and takes each series' lock only
+long enough to copy its numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+__all__ = ["prometheus_text", "json_snapshot", "render_json"]
+
+
+def _label_text(labels, extra: str = "") -> str:
+    """``{k="v",...}`` rendering (empty string for no labels)."""
+    parts = [f'{key}="{_escape(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats repr'd."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bound_text(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = REGISTRY if registry is None else registry
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for child in family.children():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    le = f'le="{_bound_text(bound)}"'
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_text(child.labels, le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_text(child.labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_text(child.labels)} "
+                    f"{child.count}"
+                )
+            elif isinstance(child, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{_label_text(child.labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _child_dict(family: MetricFamily, child) -> Dict[str, Any]:
+    node: Dict[str, Any] = {"labels": dict(child.labels)}
+    if isinstance(child, Histogram):
+        node["count"] = child.count
+        node["sum"] = child.sum
+        node["buckets"] = [
+            {"le": _bound_text(bound), "count": cumulative}
+            for bound, cumulative in child.cumulative()
+        ]
+    else:
+        node["value"] = child.value
+    return node
+
+
+def json_snapshot(
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """The registry as a JSON-ready dict keyed by metric name."""
+    registry = REGISTRY if registry is None else registry
+    snapshot: Dict[str, Any] = {}
+    for family in registry.families():
+        snapshot[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "series": [
+                _child_dict(family, child) for child in family.children()
+            ],
+        }
+    return snapshot
+
+
+def render_json(
+    registry: Optional[MetricsRegistry] = None, indent: int = 2
+) -> str:
+    """:func:`json_snapshot` serialised (stable key order)."""
+    return json.dumps(
+        json_snapshot(registry), indent=indent, sort_keys=True
+    )

@@ -25,6 +25,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hin.errors import InjectedFaultError, QueryError
+from ..obs.metrics import REGISTRY
+
+_FAULTS_FIRED = REGISTRY.counter(
+    "repro_fault_injections_total",
+    "Injected faults that triggered, by site and action.",
+)
 
 __all__ = [
     "SITE_EXECUTOR_STEP",
@@ -181,6 +187,7 @@ class FaultPlan:
         for spec in self._matching(site, occurrence):
             if spec.action == "corrupt":
                 self.fired.append((site, occurrence, "corrupt"))
+                _FAULTS_FIRED.labels(site=site, action="corrupt").inc()
                 out = _flip_bytes(out)
             else:
                 self._trigger(spec, site, occurrence)
@@ -189,9 +196,11 @@ class FaultPlan:
     def _trigger(self, spec: FaultSpec, site: str, occurrence: int) -> None:
         if spec.action == "delay":
             self.fired.append((site, occurrence, "delay"))
+            _FAULTS_FIRED.labels(site=site, action="delay").inc()
             time.sleep(spec.delay_s)
         elif spec.action == "fail":
             self.fired.append((site, occurrence, "fail"))
+            _FAULTS_FIRED.labels(site=site, action="fail").inc()
             if spec.transient:
                 raise OSError(
                     f"injected transient IO fault at {site}#{occurrence}"
@@ -202,6 +211,7 @@ class FaultPlan:
             # there is nothing to corrupt, but the fault must not be
             # silently dropped.
             self.fired.append((site, occurrence, "fail"))
+            _FAULTS_FIRED.labels(site=site, action="fail").inc()
             raise InjectedFaultError(
                 site, occurrence, "corrupt action at payload-less site"
             )

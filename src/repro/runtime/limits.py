@@ -32,6 +32,12 @@ from ..hin.errors import (
     DeadlineExceededError,
     QueryError,
 )
+from ..obs.metrics import REGISTRY
+
+_LIMIT_TRIPS = REGISTRY.counter(
+    "repro_limit_trips_total",
+    "Resource-limit breaches, labelled by the limit that tripped.",
+)
 
 __all__ = [
     "ExecutionLimits",
@@ -134,7 +140,10 @@ class LimitTracker:
         if deadline is None:
             return
         elapsed = self.elapsed_ms
-        if elapsed > deadline:
+        # Inclusive so that ``deadline_ms=0`` trips at the very first
+        # checkpoint even on clocks too coarse to have advanced yet.
+        if elapsed >= deadline:
+            _LIMIT_TRIPS.labels(limit="deadline_ms").inc()
             raise DeadlineExceededError(elapsed, deadline)
 
     def charge(self, nnz: int, nbytes: int) -> None:
@@ -147,9 +156,11 @@ class LimitTracker:
             bytes_charged = self.bytes_charged
         max_nnz = self.limits.max_nnz
         if max_nnz is not None and nnz_charged > max_nnz:
+            _LIMIT_TRIPS.labels(limit="max_nnz").inc()
             raise BudgetExceededError("max_nnz", nnz_charged, max_nnz)
         max_bytes = self.limits.max_bytes
         if max_bytes is not None and bytes_charged > max_bytes:
+            _LIMIT_TRIPS.labels(limit="max_bytes").inc()
             raise BudgetExceededError(
                 "max_bytes", bytes_charged, max_bytes
             )
@@ -158,6 +169,7 @@ class LimitTracker:
         """Veto a dense intermediate larger than the configured cap."""
         cap = self.limits.max_densified_cells
         if cap is not None and cells > cap:
+            _LIMIT_TRIPS.labels(limit="max_densified_cells").inc()
             raise BudgetExceededError("max_densified_cells", cells, cap)
 
 

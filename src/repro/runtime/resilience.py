@@ -41,8 +41,19 @@ from ..hin.errors import QueryError, ResourceLimitError
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import row_normalize, safe_reciprocal
 from ..hin.metapath import MetaPath, PathSpec
+from ..obs.metrics import REGISTRY
+from ..obs.trace import span as trace_span
 from .faults import FaultPlan
 from .limits import ExecutionLimits, execution_scope
+
+_ATTEMPTS = REGISTRY.counter(
+    "repro_degradation_attempts_total",
+    "Degradation-ladder attempts, by strategy and outcome.",
+)
+_ANSWERS = REGISTRY.counter(
+    "repro_degradation_answers_total",
+    "Resilient queries answered, by the strategy that produced the value.",
+)
 
 __all__ = [
     "Strategy",
@@ -357,45 +368,61 @@ class ResilientRuntime:
                 else None
             )
             started = perf_counter()
-            try:
-                with execution_scope(
-                    tracker=tracker,
-                    faults=self.faults,
-                    truncate_eps=strategy.truncate_eps,
-                ) as context:
-                    value, accuracy = evaluate(strategy)
-            except ResourceLimitError as exc:
-                elapsed_ms = (perf_counter() - started) * 1e3
-                attempts.append(
-                    Attempt(
-                        strategy=strategy.name,
-                        error=type(exc).__name__,
-                        tripped=exc.limit,
-                        elapsed_ms=elapsed_ms,
-                    )
-                )
-                if tripped is None:
-                    tripped = exc.limit
-                last_error = exc
-                if self.on_limit == "fail":
-                    raise
-                continue
-            except QueryError:
-                if strategy.kind == "lowrank":
-                    # Tiny half matrices cannot be factored; fall
-                    # through to the unenforced truncation floor.
+            with trace_span(
+                "resilience.attempt",
+                strategy=strategy.name,
+                enforced=strategy.enforced,
+            ) as attempt_span:
+                try:
+                    with execution_scope(
+                        tracker=tracker,
+                        faults=self.faults,
+                        truncate_eps=strategy.truncate_eps,
+                    ) as context:
+                        value, accuracy = evaluate(strategy)
+                except ResourceLimitError as exc:
                     elapsed_ms = (perf_counter() - started) * 1e3
                     attempts.append(
                         Attempt(
                             strategy=strategy.name,
-                            error="QueryError",
-                            tripped=None,
+                            error=type(exc).__name__,
+                            tripped=exc.limit,
                             elapsed_ms=elapsed_ms,
                         )
                     )
+                    _ATTEMPTS.labels(
+                        strategy=strategy.name, outcome="tripped"
+                    ).inc()
+                    attempt_span.set(outcome="tripped", limit=exc.limit)
+                    if tripped is None:
+                        tripped = exc.limit
+                    last_error = exc
+                    if self.on_limit == "fail":
+                        raise
                     continue
-                raise
-            elapsed_ms = (perf_counter() - started) * 1e3
+                except QueryError:
+                    if strategy.kind == "lowrank":
+                        # Tiny half matrices cannot be factored; fall
+                        # through to the unenforced truncation floor.
+                        elapsed_ms = (perf_counter() - started) * 1e3
+                        attempts.append(
+                            Attempt(
+                                strategy=strategy.name,
+                                error="QueryError",
+                                tripped=None,
+                                elapsed_ms=elapsed_ms,
+                            )
+                        )
+                        _ATTEMPTS.labels(
+                            strategy=strategy.name, outcome="infeasible"
+                        ).inc()
+                        attempt_span.set(outcome="infeasible")
+                        continue
+                    raise
+                elapsed_ms = (perf_counter() - started) * 1e3
+                attempt_span.set(outcome="ok")
+            _ATTEMPTS.labels(strategy=strategy.name, outcome="ok").inc()
+            _ANSWERS.labels(strategy=strategy.name).inc()
             if context.truncated_mass or strategy.truncate_eps:
                 accuracy = dict(accuracy)
                 accuracy["truncated_mass"] = context.truncated_mass

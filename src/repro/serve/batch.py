@@ -38,6 +38,35 @@ from ..hin.matrices import safe_reciprocal
 from ..hin.metapath import MetaPath, PathSpec
 from ..core.engine import HeteSimEngine
 from ..core.search import select_top_k
+from ..obs.metrics import (
+    GROUP_SIZE_BUCKETS,
+    NNZ_BUCKETS,
+    REGISTRY,
+    SECONDS_BUCKETS,
+)
+from ..obs.trace import span as trace_span
+
+_BATCH_QUERIES = REGISTRY.counter(
+    "repro_batch_queries_total", "Queries answered by batch serving."
+)
+_BATCH_GROUPS = REGISTRY.counter(
+    "repro_batch_groups_total", "Distinct path groups scored."
+)
+_GROUP_SIZES = REGISTRY.histogram(
+    "repro_batch_group_size",
+    "Queries per distinct-path group within one batch.",
+    buckets=GROUP_SIZE_BUCKETS,
+)
+_GEMM_SECONDS = REGISTRY.histogram(
+    "repro_batch_gemm_seconds",
+    "Wall time of one group's block GEMM.",
+    buckets=SECONDS_BUCKETS,
+)
+_GEMM_NNZ = REGISTRY.histogram(
+    "repro_batch_gemm_nnz",
+    "Nonzeros of one group's block GEMM product.",
+    buckets=NNZ_BUCKETS,
+)
 
 __all__ = [
     "Query",
@@ -106,10 +135,14 @@ class QueryResult:
 class BatchStats:
     """How a batch was executed (per-request observability).
 
-    ``halves_materialised`` counts the groups whose half matrices were
-    *not* already memoised on the engine -- on a warm engine it is 0,
-    on a cold one it equals ``num_groups``; it never exceeds the number
-    of distinct paths in the request (the materialise-once guarantee).
+    ``halves_materialised`` counts the materialisation *events* the
+    batch actually triggered, read as a delta of the engine's
+    ``repro_halves_materialisations_total`` counter around the
+    dispatch -- on a warm engine it is 0, on a cold one it equals
+    ``num_groups``.  Counting events (rather than pre-probing
+    ``has_halves`` before dispatch) keeps the number honest when
+    concurrent traffic or a racing ``warm()`` materialises a group's
+    halves between the probe and the scoring.
     """
 
     num_queries: int
@@ -209,13 +242,21 @@ class QueryServer:
 
         started = time.perf_counter()
         groups = self._group(request.queries)
-        cold = sum(
-            not self.engine.has_halves(group.meta)
-            for group in groups
-        )
-        rankings_per_group = Dispatcher(request.workers).map(
-            self._score_group, groups
-        )
+        _BATCH_QUERIES.inc(len(request.queries))
+        _BATCH_GROUPS.inc(len(groups))
+        for group in groups:
+            _GROUP_SIZES.observe(len(group.members))
+        before = self.engine.materialisation_count
+        with trace_span(
+            "batch.run",
+            queries=len(request.queries),
+            groups=len(groups),
+            workers=request.workers,
+        ):
+            rankings_per_group = Dispatcher(request.workers).map(
+                self._score_group, groups
+            )
+        materialised = self.engine.materialisation_count - before
 
         results: List[Optional[QueryResult]] = [None] * len(
             request.queries
@@ -233,7 +274,7 @@ class QueryServer:
             group_sizes=tuple(
                 len(group.members) for group in groups
             ),
-            halves_materialised=cold,
+            halves_materialised=materialised,
             workers=request.workers,
             seconds=time.perf_counter() - started,
         )
@@ -273,29 +314,42 @@ class QueryServer:
     ) -> List[Tuple[Tuple[str, float], ...]]:
         """One block GEMM for all of a group's sources, then per-query
         normalisation and top-k selection."""
-        left, right, left_norms, right_norms = self.engine.halves(
-            group.meta
-        )
-        rows = sorted({row for _, _, row in group.members})
-        row_position = {row: i for i, row in enumerate(rows)}
-        block = (left[rows, :] @ right.T).toarray()
-        keys = self.engine.graph.node_keys(
-            group.meta.target_type.name
-        )
-        scale_right = safe_reciprocal(right_norms)
+        with trace_span(
+            "batch.score_group",
+            path=group.meta.code(),
+            size=len(group.members),
+        ) as group_span:
+            left, right, left_norms, right_norms = self.engine.halves(
+                group.meta
+            )
+            rows = sorted({row for _, _, row in group.members})
+            row_position = {row: i for i, row in enumerate(rows)}
+            tick = time.perf_counter()
+            product = left[rows, :] @ right.T
+            gemm_seconds = time.perf_counter() - tick
+            _GEMM_SECONDS.observe(gemm_seconds)
+            _GEMM_NNZ.observe(product.nnz)
+            group_span.set(
+                gemm_ms=round(gemm_seconds * 1e3, 3), nnz=product.nnz
+            )
+            block = product.toarray()
+            keys = self.engine.graph.node_keys(
+                group.meta.target_type.name
+            )
+            scale_right = safe_reciprocal(right_norms)
 
-        rankings: List[Tuple[Tuple[str, float], ...]] = []
-        for _, query, row in group.members:
-            raw = block[row_position[row]]
-            if not query.normalized:
-                scores = raw
-            elif left_norms[row] == 0:
-                scores = np.zeros_like(raw)
-            else:
-                scores = raw * (scale_right / left_norms[row])
-            k = len(keys) if query.k is None else query.k
-            rankings.append(tuple(select_top_k(scores, keys, k)))
-        return rankings
+            rankings: List[Tuple[Tuple[str, float], ...]] = []
+            for _, query, row in group.members:
+                raw = block[row_position[row]]
+                if not query.normalized:
+                    scores = raw
+                elif left_norms[row] == 0:
+                    scores = np.zeros_like(raw)
+                else:
+                    scores = raw * (scale_right / left_norms[row])
+                k = len(keys) if query.k is None else query.k
+                rankings.append(tuple(select_top_k(scores, keys, k)))
+            return rankings
 
 
 def serve_batch(

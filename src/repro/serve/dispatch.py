@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Sequence, Tuple, TypeVar
 
 from ..hin.errors import QueryError
+from ..obs.trace import adopt_span, current_span
 from ..runtime.limits import adopt_context, current_context
 
 __all__ = ["Dispatcher", "SingleFlight", "WarmReport"]
@@ -71,9 +72,10 @@ class Dispatcher:
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         context = current_context()
+        parent_span = current_span()
 
         def run(item: T) -> R:
-            with adopt_context(context):
+            with adopt_context(context), adopt_span(parent_span):
                 return fn(item)
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -124,13 +126,20 @@ class SingleFlight:
 class WarmReport:
     """What :meth:`HeteSimEngine.warm <repro.core.engine.HeteSimEngine.warm>`
     did: which paths were pre-materialised, which half-path matrices
-    were persisted, and how long the warm-up took.
+    were persisted, which paths could not be persisted, and how long
+    the warm-up took.
+
+    ``skipped`` lists odd (edge-object) paths whose transition halves
+    cannot round-trip through a matrix store: they were memoised for
+    this process but a fresh process must recompute them.  An empty
+    tuple when no store was given or every path persisted fully.
     """
 
     paths: Tuple[str, ...]
     persisted: Tuple[str, ...]
     workers: int
     seconds: float
+    skipped: Tuple[str, ...] = ()
 
     def summary(self) -> str:
         """One-line rendering (the ``serve-warm`` CLI output)."""
@@ -139,8 +148,14 @@ class WarmReport:
             if self.persisted
             else ""
         )
+        skipped = (
+            f", skipped persisting {len(self.skipped)} odd path(s) "
+            f"[{', '.join(self.skipped)}]"
+            if self.skipped
+            else ""
+        )
         return (
             f"warmed {len(self.paths)} path(s) "
             f"[{', '.join(self.paths)}] with {self.workers} worker(s) "
-            f"in {self.seconds * 1e3:.1f} ms{persisted}"
+            f"in {self.seconds * 1e3:.1f} ms{persisted}{skipped}"
         )

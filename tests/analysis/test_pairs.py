@@ -1,0 +1,212 @@
+"""Fixture tests for RPR007: paired-state atomicity.
+
+The positive fixture is (a reduction of) the actual stale-halves bug
+PR 5 fixed in :class:`~repro.core.engine.HeteSimEngine`: an unlocked
+fast path reading a cached value from one ``_``-dict and validating it
+against a signature read from a *second* ``_``-dict with the same key.
+The negative fixtures pin down every escape hatch: the fused-entry fix,
+lock-held access, distinct keys, guaranteed-held private helpers, and
+classes outside the lock-disciplined set.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import PairedStateRule
+from repro.analysis.core import SourceFile
+
+
+def lint(source, rel="src/repro/example.py"):
+    """RPR007 findings over one snippet."""
+    rule = PairedStateRule()
+    code = textwrap.dedent(source)
+    file = SourceFile(None, rel, code, ast.parse(code))
+    return list(rule.check(file)) + list(rule.finalize())
+
+
+# The pre-fix HeteSimEngine.halves() fast path, reduced: two unlocked
+# reads that must be atomic as a pair but are not.
+STALE_PAIR = """\
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._halves = {}
+        self._half_signatures = {}
+
+    def halves(self, key, signature):
+        cached = self._halves.get(key)
+        if cached is not None and self._half_signatures.get(key) == signature:
+            return cached
+        with self._lock:
+            self._halves[key] = self._compute(key)
+            self._half_signatures[key] = signature
+            return self._halves[key]
+"""
+
+# The post-fix shape: one dict holding (signature, value) entries, so a
+# single GIL-atomic read yields a consistent pair.
+FUSED_ENTRY = """\
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._halves = {}
+
+    def halves(self, key, signature):
+        entry = self._halves.get(key)
+        if entry is not None and entry[0] == signature:
+            return entry[1]
+        with self._lock:
+            entry = self._halves.get(key)
+            if entry is not None and entry[0] == signature:
+                return entry[1]
+            result = self._compute(key)
+            self._halves[key] = (signature, result)
+            return result
+"""
+
+
+class TestPairedReads:
+    def test_stale_pair_fast_path_flagged(self):
+        findings = lint(STALE_PAIR)
+        assert [f.rule for f in findings] == ["RPR007"]
+        finding = findings[0]
+        assert finding.severity == "error"
+        assert finding.line == 12
+        assert "self._half_signatures" in finding.message
+        assert "self._halves" in finding.message
+        assert "not atomic" in finding.message
+
+    def test_fused_entry_fix_is_clean(self):
+        assert lint(FUSED_ENTRY) == []
+
+    def test_unlocked_read_write_pair_flagged(self):
+        # A write to one dict paired with an unlocked read of its twin
+        # is the same hazard from the producer side.
+        findings = lint(
+            """\
+            import threading
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._values = {}
+                    self._stamps = {}
+
+                def put(self, key, value, stamp):
+                    self._values[key] = value
+                    self._stamps[key] = stamp
+            """
+        )
+        # RPR007 fires on the same-key pair (RPR004 would separately
+        # flag the unlocked mutations; this rule only reports pairing).
+        assert [f.rule for f in findings] == ["RPR007"]
+        assert findings[0].line == 12
+
+
+class TestEscapeHatches:
+    def test_pair_under_lock_is_clean(self):
+        findings = lint(
+            """\
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._halves = {}
+                    self._half_signatures = {}
+
+                def halves(self, key, signature):
+                    with self._lock:
+                        cached = self._halves.get(key)
+                        if self._half_signatures.get(key) == signature:
+                            return cached
+            """
+        )
+        assert findings == []
+
+    def test_distinct_keys_are_clean(self):
+        findings = lint(
+            """\
+            import threading
+
+
+            class Router:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._left = {}
+                    self._right = {}
+
+                def route(self, a, b):
+                    return self._left.get(a), self._right.get(b)
+            """
+        )
+        assert findings == []
+
+    def test_guaranteed_held_helper_is_clean(self):
+        # A private helper whose only caller holds the lock inherits the
+        # guarantee -- shared fixpoint with RPR004.
+        findings = lint(
+            """\
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._halves = {}
+                    self._half_signatures = {}
+
+                def refresh(self, key, signature):
+                    with self._lock:
+                        self._validate(key, signature)
+
+                def _validate(self, key, signature):
+                    cached = self._halves.get(key)
+                    return self._half_signatures.get(key) == signature
+            """
+        )
+        assert findings == []
+
+    def test_undisciplined_class_ignored(self):
+        # Single-threaded classes pair dicts freely; only classes in the
+        # lock-disciplined set (RPR004's notion) are checked.
+        findings = lint(
+            """\
+            class Plain:
+                def lookup(self, key):
+                    return self._a.get(key), self._b.get(key)
+            """
+        )
+        assert findings == []
+
+    def test_nested_callable_loses_lock(self):
+        # A closure built under the lock may run later without it.
+        findings = lint(
+            """\
+            import threading
+
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._halves = {}
+                    self._half_signatures = {}
+
+                def deferred(self, key, signature):
+                    with self._lock:
+                        def check():
+                            cached = self._halves.get(key)
+                            sig = self._half_signatures.get(key)
+                            return cached, sig
+                        return check
+            """
+        )
+        assert [f.rule for f in findings] == ["RPR007"]

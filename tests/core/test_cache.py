@@ -187,3 +187,45 @@ class TestByteBudgetEviction:
 
         with pytest.raises(QueryError):
             PathMatrixCache(fig4, byte_budget=-1)
+
+
+class TestMidPlanMutation:
+    def test_mutation_during_execution_leaves_the_entry_stale(
+        self, fig4, monkeypatch
+    ):
+        """Entries are tagged with the versions captured *before* the
+        plan executes: a mutation landing mid-plan therefore leaves the
+        stored entry stale (recomputed on next lookup).  Tagging at
+        store time instead would pair pre-mutation data with the
+        post-mutation signature -- permanently fresh, permanently
+        wrong."""
+        from repro.hin.graph import HeteroGraph
+
+        cache = PathMatrixCache(fig4)
+        ap = fig4.schema.path("AP")
+        original = HeteroGraph.adjacency
+        fired = []
+
+        def adjacency_then_mutate(self, relation_name):
+            matrix = original(self, relation_name)
+            if relation_name == "writes" and not fired:
+                fired.append(True)
+                # Lands after the plan read the adjacency but before
+                # the cache stores the product.  A parallel edge
+                # accumulates weight, changing the row-normalised
+                # probabilities without changing any matrix shape.
+                self.add_edge("writes", "Tom", "p1")
+            return matrix
+
+        monkeypatch.setattr(
+            HeteroGraph, "adjacency", adjacency_then_mutate
+        )
+        first = cache.reach_prob(ap)
+        served = cache.reach_prob(ap)
+        fresh = reachable_probability_matrix(fig4, ap)
+        np.testing.assert_allclose(
+            served.toarray(), fresh.toarray()
+        )
+        # The mutation really changed the matrix, so serving the first
+        # result again would have been a stale answer.
+        assert np.abs(first.toarray() - fresh.toarray()).max() > 1e-12

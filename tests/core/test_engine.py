@@ -185,6 +185,49 @@ class TestMutationSafety:
         assert before[0] is not after[0]
 
 
+class _RacyHalves(dict):
+    """Half-memo dict that re-enacts the stale-read interleaving.
+
+    The first ``get`` captures whatever is memoised, lets a *fresh*
+    materialisation land (by calling ``engine.halves`` inline, exactly
+    what a concurrent warmer would do between a reader's memo lookup
+    and its freshness check), then hands the reader the captured stale
+    value.  With the signature stored beside the result in one entry
+    the reader rejects the stale value; with the signature in a second
+    dict the reader pairs it with the freshly written signature and
+    serves pre-mutation matrices.
+    """
+
+    def __init__(self, engine, path, mapping):
+        super().__init__(mapping)
+        self._engine = engine
+        self._path = path
+        self._armed = True
+
+    def get(self, key, default=None):
+        stale = super().get(key, default)
+        if self._armed and stale is not None:
+            self._armed = False  # disarm before nesting: no recursion
+            self._engine.halves(self._path)
+        return stale
+
+
+class TestStaleHalvesRace:
+    def test_stale_tuple_cannot_pair_with_fresh_signature(self, fig4):
+        engine = HeteSimEngine(fig4)
+        path = engine.path("APC")
+        engine.halves(path)  # memoise at the pre-mutation signature
+        fig4.add_edge("writes", "Tom", "p3")  # invalidates the memo
+        engine._halves = _RacyHalves(engine, path, engine._halves)
+
+        left, _, _, _ = engine.halves(path)
+
+        fresh_left, _, _, _ = HeteSimEngine(fig4).halves(path)
+        np.testing.assert_array_equal(
+            left.toarray(), fresh_left.toarray()
+        )
+
+
 class TestRelevancePairs:
     def test_matches_individual_queries(self, fig4_engine):
         pairs = [("Tom", "KDD"), ("Mary", "SIGMOD"), ("Jim", "KDD")]
@@ -255,3 +298,23 @@ class TestWarm:
         engine = HeteSimEngine(fig4)
         summary = engine.warm(["APC"], workers=3).summary()
         assert "APC" in summary and "3 worker(s)" in summary
+
+    def test_warm_reports_skipped_odd_paths(self, fig4, tmp_path):
+        from repro.core.store import MatrixStore
+
+        engine = HeteSimEngine(fig4)
+        store = MatrixStore(tmp_path / "store")
+        report = engine.warm(["AP", "APC"], store=store)
+        # The odd path is memoised in process...
+        assert engine.has_halves(engine.path("AP"))
+        # ...but its edge-object transition halves cannot persist, and
+        # the report must say so instead of implying full coverage.
+        assert report.skipped == ("AP",)
+        assert "skipped" in report.summary()
+        assert "AP" in report.summary()
+
+    def test_warm_without_store_skips_nothing(self, fig4):
+        engine = HeteSimEngine(fig4)
+        report = engine.warm(["AP"])
+        assert report.skipped == ()
+        assert "skipped" not in report.summary()

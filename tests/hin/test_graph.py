@@ -184,3 +184,53 @@ class TestSummary:
         text = graph.summary()
         assert "author: 2 nodes" in text
         assert "3 edges" in text
+
+
+class TestConcurrentMutation:
+    def test_concurrent_add_edge_never_loses_version_bumps(self, schema):
+        """Version counters are read-modify-write: without the mutation
+        lock, racing ``+= 1`` bumps lose updates, so a later mutation
+        can reuse an already-observed version and every staleness check
+        keyed on it silently serves stale data."""
+        import sys
+        import threading
+
+        graph = HeteroGraph(schema)
+        graph.add_node("author", "alice")
+        graph.add_node("paper", "p1")
+        before = graph.relation_version("writes")
+        threads_n, per_thread = 4, 300
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            def mutate():
+                for _ in range(per_thread):
+                    graph.add_edge("writes", "alice", "p1")
+
+            threads = [
+                threading.Thread(target=mutate) for _ in range(threads_n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(switch)
+        total = threads_n * per_thread
+        assert graph.num_edges("writes") == total
+        assert graph.relation_version("writes") - before == total
+
+    def test_adjacency_tolerates_a_torn_append(self, graph):
+        """``matrix()`` builds from the first ``len(weights)`` entries:
+        a mutator pre-empted between its list appends must not crash a
+        concurrent reader (weights is appended last, so that prefix of
+        all three lists is always mutually consistent)."""
+        complete = graph.adjacency("writes").nnz
+        edges = graph._edges["writes"]
+        # Simulate a mutator frozen mid-add: row/col published,
+        # weight (and the version bump) still pending.
+        edges.rows.append(0)
+        edges.cols.append(0)
+        edges._csr = None
+        torn_view = graph.adjacency("writes")
+        assert torn_view.nnz == complete

@@ -256,3 +256,128 @@ class TestDoctor:
         code = main(["doctor", str(tmp_path / "absent.json")])
         assert code == 1
         assert "FileNotFoundError" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def clean_tracer():
+    """Drop span roots recorded by a CLI invocation under test."""
+    from repro.obs import TRACER
+
+    TRACER.disable()
+    TRACER.reset()
+    yield TRACER
+    TRACER.disable()
+    TRACER.reset()
+
+
+class TestServeWarm:
+    def test_warm_reports_skipped_odd_paths(
+        self, graph_file, tmp_path, capsys
+    ):
+        # AP is odd (edge-object path): it cannot round-trip through a
+        # MatrixStore, and the summary must say so instead of letting
+        # the path pass as persisted.
+        code = main(
+            ["serve-warm", graph_file, "--paths", "AP", "APC",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipped persisting 1 odd path" in out
+        assert "AP" in out
+
+    def test_warm_without_store_mentions_no_skips(
+        self, graph_file, capsys
+    ):
+        code = main(["serve-warm", graph_file, "--paths", "APC"])
+        assert code == 0
+        assert "skipped" not in capsys.readouterr().out
+
+
+class TestServeBatchTrace:
+    def test_trace_flag_prints_span_tree_to_stderr(
+        self, graph_file, capsys, clean_tracer
+    ):
+        code = main(
+            ["serve-batch", graph_file,
+             "--queries", "Tom:APC", "Mary:APC", "--trace"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Tom | APC:" in captured.out
+        assert "batch.run" in captured.err
+        assert "batch.score_group" in captured.err
+        assert "engine.materialise_halves" in captured.err
+
+    def test_without_flag_no_span_tree(
+        self, graph_file, capsys, clean_tracer
+    ):
+        code = main(
+            ["serve-batch", graph_file, "--queries", "Tom:APC"]
+        )
+        assert code == 0
+        assert "batch.run" not in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_prometheus_text_reports_nonzero_series(
+        self, graph_file, capsys
+    ):
+        code = main(["metrics", graph_file, "--paths", "APC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_halves_materialisations_total counter" in out
+        assert "# TYPE repro_cache_hits_total counter" in out
+        assert "# TYPE repro_batch_gemm_seconds histogram" in out
+        assert "repro_batch_gemm_seconds_count" in out
+
+    def test_json_reports_nonzero_acceptance_series(
+        self, graph_file, capsys
+    ):
+        import json
+
+        code = main(
+            ["metrics", graph_file, "--paths", "APC",
+             "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+
+        def total(name, field="value"):
+            # Engine/cache labels are per-instance and other suites may
+            # have minted some in this process: sum across the series.
+            return sum(s[field] for s in snapshot[name]["series"])
+
+        assert total("repro_halves_materialisations_total") >= 1
+        assert total("repro_cache_hits_total") >= 1
+        assert total("repro_batch_gemm_seconds", "count") >= 1
+        assert total("repro_batch_gemm_seconds", "sum") > 0
+
+
+class TestTraceCommand:
+    def test_text_span_trees(self, graph_file, capsys, clean_tracer):
+        code = main(["trace", graph_file, "--paths", "APC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.warm" in out
+        assert "engine.materialise_halves" in out
+        assert "batch.run" in out
+
+    def test_json_span_trees_nest(
+        self, graph_file, capsys, clean_tracer
+    ):
+        import json
+
+        code = main(
+            ["trace", graph_file, "--paths", "APC",
+             "--format", "json"]
+        )
+        assert code == 0
+        roots = json.loads(capsys.readouterr().out)
+        names = [root["name"] for root in roots]
+        assert "engine.warm" in names
+        warm = roots[names.index("engine.warm")]
+        assert any(
+            child["name"] == "engine.materialise_halves"
+            for child in warm.get("children", [])
+        )

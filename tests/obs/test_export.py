@@ -1,0 +1,99 @@
+"""Golden-output tests for the Prometheus and JSON exporters.
+
+Exporter output must be byte-stable for a fixed registry state
+(families name-sorted, children label-sorted) -- these tests pin the
+exact bytes so any accidental format drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import json_snapshot, prometheus_text, render_json
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    hits = registry.counter("demo_hits_total", "Cache hits.")
+    hits.labels(cache="c0").inc(3)
+    hits.labels(cache="c1").inc(1.5)
+    registry.gauge("demo_entries", "Entries held.").set(7)
+    seconds = registry.histogram(
+        "demo_seconds", "Wall time.", buckets=(0.01, 0.1, 1.0)
+    )
+    seconds.observe(0.005)
+    seconds.observe(0.05)
+    seconds.observe(5.0)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP demo_entries Entries held.
+# TYPE demo_entries gauge
+demo_entries 7
+# HELP demo_hits_total Cache hits.
+# TYPE demo_hits_total counter
+demo_hits_total{cache="c0"} 3
+demo_hits_total{cache="c1"} 1.5
+# HELP demo_seconds Wall time.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.01"} 1
+demo_seconds_bucket{le="0.1"} 2
+demo_seconds_bucket{le="1"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 5.055
+demo_seconds_count 3
+"""
+
+
+class TestPrometheusText:
+    def test_golden_output(self):
+        assert prometheus_text(make_registry()) == GOLDEN_PROMETHEUS
+
+    def test_byte_stable_across_renders(self):
+        registry = make_registry()
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total").labels(path='A"P\\C\n').inc()
+        text = prometheus_text(registry)
+        assert 'esc_total{path="A\\"P\\\\C\\n"} 1' in text
+
+
+class TestJsonSnapshot:
+    def test_golden_structure(self):
+        snapshot = json_snapshot(make_registry())
+        assert sorted(snapshot) == [
+            "demo_entries",
+            "demo_hits_total",
+            "demo_seconds",
+        ]
+        assert snapshot["demo_hits_total"] == {
+            "kind": "counter",
+            "help": "Cache hits.",
+            "series": [
+                {"labels": {"cache": "c0"}, "value": 3.0},
+                {"labels": {"cache": "c1"}, "value": 1.5},
+            ],
+        }
+        histogram = snapshot["demo_seconds"]["series"][0]
+        assert histogram["count"] == 3
+        assert histogram["sum"] == 5.055
+        assert histogram["buckets"] == [
+            {"le": "0.01", "count": 1},
+            {"le": "0.1", "count": 2},
+            {"le": "1", "count": 2},
+            {"le": "+Inf", "count": 3},
+        ]
+
+    def test_render_json_round_trips(self):
+        registry = make_registry()
+        assert json.loads(render_json(registry)) == json_snapshot(registry)
+
+    def test_render_json_sorted_keys(self):
+        rendered = render_json(make_registry())
+        assert rendered.index("demo_entries") < rendered.index(
+            "demo_hits_total"
+        )

@@ -1,0 +1,168 @@
+"""Unit tests for the metrics model: series, families, the registry.
+
+Tests construct private :class:`MetricsRegistry` instances -- the
+process-wide ``REGISTRY`` accumulates counts from every other test in
+the session and is only ever asserted on for *deltas* (see the serve
+and integration suites).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    instance_label,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(QueryError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_concurrent_increments_all_land(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == pytest.approx(12.0)
+
+    def test_may_go_negative(self):
+        gauge = Gauge()
+        gauge.dec(4)
+        assert gauge.value == pytest.approx(-4.0)
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_are_inclusive(self):
+        # Prometheus `le` semantics: an observation equal to a bound
+        # counts in that bound's bucket.
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.cumulative() == [
+            (1.0, 2),  # 0.5, 1.0
+            (5.0, 3),  # + 5.0
+            (10.0, 4),  # + 7.0
+            (math.inf, 5),  # + 100.0
+        ]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(113.5)
+
+    def test_buckets_must_be_strictly_increasing(self):
+        with pytest.raises(QueryError):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(QueryError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(QueryError):
+            Histogram(buckets=())
+
+    def test_reset(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.cumulative() == [(1.0, 0), (math.inf, 0)]
+
+
+class TestFamiliesAndRegistry:
+    def test_labels_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("hits_total", "help text")
+        child = family.labels(cache="c0")
+        child.inc(3)
+        # Same labels in any keyword order address the same series.
+        assert family.labels(cache="c0") is child
+        assert family.labels(cache="c1") is not child
+        assert family.labels(cache="c0").value == 3.0
+
+    def test_unlabelled_conveniences(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b_level").set(9)
+        registry.histogram("c_seconds", buckets=(1.0,)).observe(0.5)
+        assert registry.counter("a_total").value == 2.0
+        assert registry.gauge("b_level").value == 9.0
+        assert registry.histogram("c_seconds", buckets=(1.0,)).labels().count == 1
+
+    def test_redeclaring_same_family_returns_it(self):
+        registry = MetricsRegistry()
+        first = registry.counter("dup_total", "first help")
+        again = registry.counter("dup_total", "second help ignored")
+        assert again is first
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(QueryError):
+            registry.gauge("x_total")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(QueryError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_families_are_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total")
+        registry.counter("alpha_total")
+        assert [f.name for f in registry.families()] == [
+            "alpha_total",
+            "zeta_total",
+        ]
+
+    def test_registry_reset_clears_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total").labels(side="l").inc(4)
+        registry.histogram("h", buckets=(1.0,)).observe(0.2)
+        registry.reset()
+        assert registry.counter("n_total").labels(side="l").value == 0.0
+        assert registry.histogram("h", buckets=(1.0,)).labels().count == 0
+
+
+class TestInstanceLabel:
+    def test_sequential_and_unique(self):
+        first = instance_label("t")
+        second = instance_label("t")
+        assert first != second
+        assert first.startswith("t") and second.startswith("t")
+        assert int(second[1:]) > int(first[1:])

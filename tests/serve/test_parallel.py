@@ -162,6 +162,143 @@ class TestFaultsInWorkers:
         ) == sequential.occurrences(SITE_EXECUTOR_STEP)
 
 
+def _stress_graph():
+    return make_random_hin(
+        _schema(),
+        sizes={"author": 30, "paper": 50, "conf": 6},
+        edge_prob=0.1,
+        seed=3,
+        ensure_connected_rows=True,
+    )
+
+
+def _fingerprint(halves):
+    left, right, left_norms, right_norms = halves
+    return (
+        left.nnz,
+        right.nnz,
+        float(left.sum()),
+        float(right.sum()),
+        float(left_norms.sum()),
+        float(right_norms.sum()),
+    )
+
+
+class TestMutateQueryStress:
+    def test_mutate_then_query_cycles_never_pair_stale_data(self):
+        """8 workers in barrier-phased mutate-then-query cycles.
+
+        Each cycle, one worker mutates the graph, then all eight race
+        ``engine.halves`` against the now-quiescent graph.  Every served
+        result must fingerprint identically to what a fresh engine
+        computes for that cycle: the pre-fix TOCTOU (a stale memo tuple
+        paired with the post-mutation signature) is exactly what the
+        per-cycle equality catches, because the stale tuple belongs to
+        the previous cycle's graph state.
+        """
+        graph = _stress_graph()
+        engine = HeteSimEngine(graph)
+        path = engine.path("APC")
+        cycles = 12
+        workers = 8
+        barrier = threading.Barrier(workers)
+        records = []
+        references = {}
+        records_lock = threading.Lock()
+        failures = []
+
+        def worker(slot):
+            try:
+                for cycle in range(cycles):
+                    if slot == 0:
+                        # Parallel edges accumulate weight, so re-adding
+                        # an existing pair is a legal, version-bumping
+                        # mutation.
+                        graph.add_edge(
+                            "writes", f"A{cycle % 30}", f"P{(7 * cycle) % 50}"
+                        )
+                    barrier.wait()
+                    served = _fingerprint(engine.halves(path))
+                    with records_lock:
+                        records.append((cycle, served))
+                    if slot == 0:
+                        references[cycle] = _fingerprint(
+                            HeteSimEngine(graph).halves(path)
+                        )
+                    barrier.wait()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        assert len(records) == cycles * workers
+        by_cycle = {}
+        for cycle, served in records:
+            by_cycle.setdefault(cycle, set()).add(served)
+        for cycle, fingerprints in sorted(by_cycle.items()):
+            assert fingerprints == {references[cycle]}, (
+                f"cycle {cycle} served {len(fingerprints)} distinct "
+                f"halves -- stale data survived the mutation"
+            )
+
+    def test_free_running_storm_settles_to_fresh_state(self):
+        """2 mutators and 6 queriers free-running with no phasing.
+
+        Mid-storm results are unchecked (with mutation in flight there
+        is no instant at which a signature and an adjacency read are
+        guaranteed mutually consistent), but the storm must neither
+        crash nor poison any cache: once quiescent, the hammered engine
+        must serve exactly what a fresh engine computes.
+        """
+        graph = _stress_graph()
+        engine = HeteSimEngine(graph)
+        path = engine.path("APC")
+        start = threading.Barrier(8)
+        failures = []
+
+        def mutator(slot):
+            try:
+                start.wait()
+                for step in range(25):
+                    graph.add_edge(
+                        "writes", f"A{(slot * 25 + step) % 30}", f"P{step % 50}"
+                    )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        def querier():
+            try:
+                start.wait()
+                for _ in range(40):
+                    engine.halves(path)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=mutator, args=(slot,))
+            for slot in range(2)
+        ] + [threading.Thread(target=querier) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures
+        final = _fingerprint(engine.halves(path))
+        assert final == _fingerprint(
+            HeteSimEngine(graph).halves(path)
+        )
+
+
 class TestSingleFlightHalves:
     def test_concurrent_same_path_materialises_once(self, hin):
         engine = HeteSimEngine(hin)
