@@ -1,0 +1,217 @@
+"""Measure-layer benchmarks: one mixed-measure batch vs per-query loops.
+
+The tentpole claim under measurement: answering a 64-query batch that
+mixes four measure plugins (HeteSim, PathSim, PCRW, ReachProb) through
+``repro.serve`` -- grouped by ``(measure, path)``, each group's scoring
+state prepared once, one block pass per group -- must be at least 3x
+faster than the sequential loop that calls each plugin's single-query
+``top_k`` per query with no shared state.  Results are written
+machine-readable to ``BENCH_measures.json`` at the repository root.
+
+Under ``--benchmark-disable`` (the CI smoke mode) the network shrinks,
+nothing is asserted about timing and the JSON is not rewritten -- the
+run only proves the mixed-measure serving path still imports and
+answers correctly.  A JSON dump of the observability registry is
+always written next to the results (``BENCH_measures_metrics.json``);
+CI uploads it as an artifact, so every smoke run leaves an inspectable
+record of per-measure prepares, queries and GEMM timings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.measures import MeasureContext, get_measure
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+from repro.obs.export import render_json
+from repro.serve import BatchRequest, Query, QueryServer
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_measures.json"
+)
+METRICS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_measures_metrics.json"
+)
+
+N_QUERIES = 64
+TOP_K = 10
+FULL_SIZES = {"author": 1200, "paper": 2400, "conf": 200}
+QUICK_SIZES = {"author": 60, "paper": 90, "conf": 12}
+
+# 16 queries per measure; PPR is excluded from the timed mix (its
+# global-walk cost is path-independent and would swamp the contrast).
+MEASURE_PATHS = [
+    ("hetesim", "APC"),
+    ("pathsim", "APCPA"),
+    ("pcrw", "APC"),
+    ("reachprob", "APCPA"),
+]
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+def _quick(config) -> bool:
+    try:
+        return bool(config.getoption("--benchmark-disable"))
+    except (ValueError, KeyError):
+        return False
+
+
+@pytest.fixture(scope="module")
+def measures_hin(request):
+    sizes = QUICK_SIZES if _quick(request.config) else FULL_SIZES
+    return make_random_hin(
+        _schema(),
+        sizes=sizes,
+        edge_prob=8.0 / sizes["paper"],
+        edge_probs={"published_in": 3.0 / sizes["conf"]},
+        seed=11,
+        ensure_connected_rows=True,
+    )
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_measures.json (machine-readable)."""
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results[section] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _mixed_queries(graph):
+    per_measure = N_QUERIES // len(MEASURE_PATHS)
+    sources = graph.node_keys("author")[:per_measure]
+    return [
+        Query(source, spec, k=TOP_K, measure=name)
+        for name, spec in MEASURE_PATHS
+        for source in sources
+    ]
+
+
+def test_mixed_batch_vs_sequential_plugins(measures_hin, request):
+    """64 mixed-measure queries: batch >= 3x the per-query loop."""
+    quick = _quick(request.config)
+    graph = measures_hin
+    queries = _mixed_queries(graph)
+
+    # The reference loop answers each query through the plugin's own
+    # single-query path on a bare context: no engine memo, no cache --
+    # exactly what a caller without the serve layer would write.
+    start = time.perf_counter()
+    sequential = [
+        get_measure(query.measure).top_k(
+            MeasureContext(graph=graph),
+            query.path,
+            query.source,
+            k=TOP_K,
+        )
+        for query in queries
+    ]
+    sequential_seconds = time.perf_counter() - start
+
+    server = QueryServer(HeteSimEngine(graph))
+    start = time.perf_counter()
+    batched = server.run(BatchRequest(queries))
+    batched_seconds = time.perf_counter() - start
+
+    for query, expected, answer in zip(
+        queries, sequential, batched.results
+    ):
+        assert [k for k, _ in expected] == [
+            k for k, _ in answer.ranking
+        ], query.measure
+        np.testing.assert_allclose(
+            [s for _, s in expected],
+            [s for _, s in answer.ranking],
+            rtol=1e-12,
+            atol=1e-15,
+        )
+    assert batched.stats.num_groups == len(MEASURE_PATHS)
+
+    speedup = (
+        sequential_seconds / batched_seconds
+        if batched_seconds > 0
+        else float("inf")
+    )
+    if quick:
+        return
+    _record(
+        "mixed_measure_batch",
+        {
+            "n_queries": len(queries),
+            "k": TOP_K,
+            "measures": [name for name, _ in MEASURE_PATHS],
+            "paths": [spec for _, spec in MEASURE_PATHS],
+            "sizes": FULL_SIZES,
+            "sequential_seconds": sequential_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 3.0, (
+        f"mixed-measure batch only {speedup:.1f}x faster than the "
+        f"sequential plugin loop (need >= 3x)"
+    )
+
+
+def test_shared_halves_across_measures(measures_hin, request):
+    """hetesim + combined on overlapping paths: materialisations stay
+    at the number of distinct paths (recorded, asserted exactly)."""
+    quick = _quick(request.config)
+    graph = measures_hin
+    sources = graph.node_keys("author")[:16]
+    engine = HeteSimEngine(graph)
+    queries = [Query(source, "APC", k=TOP_K) for source in sources] + [
+        Query(
+            source,
+            "APC=0.6,APCPAPC=0.4",
+            k=TOP_K,
+            measure="combined",
+        )
+        for source in sources
+    ]
+    start = time.perf_counter()
+    result = QueryServer(engine).run(BatchRequest(queries))
+    seconds = time.perf_counter() - start
+    assert result.stats.halves_materialised == 2
+    if quick:
+        return
+    _record(
+        "shared_halves",
+        {
+            "n_queries": len(queries),
+            "distinct_paths": 2,
+            "halves_materialised": result.stats.halves_materialised,
+            "seconds": seconds,
+        },
+    )
+
+
+def test_metrics_dump_written_last():
+    """Snapshot the observability registry next to the results.
+
+    Runs after the measure benches (pytest executes this file in
+    definition order), so the dump reflects their per-measure prepare
+    and query counters.  Written in quick mode too: the CI smoke step
+    uploads it as an artifact.
+    """
+    METRICS_PATH.write_text(render_json() + "\n")
+    dumped = json.loads(METRICS_PATH.read_text())
+    assert "repro_measure_prepares_total" in dumped
+    assert "repro_batch_gemm_seconds" in dumped

@@ -48,6 +48,7 @@ from .rules import (
     ContextPropagationRule,
     DensifyRule,
     FloatEqualityRule,
+    MaterialiseImportRule,
     NondeterminismRule,
     TypedErrorRule,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "FloatEqualityRule",
     "LintResult",
     "LockDisciplineRule",
+    "MaterialiseImportRule",
     "NondeterminismRule",
     "PairedStateRule",
     "Rule",

@@ -1,4 +1,4 @@
-"""The built-in local rule pack (RPR001-RPR003, RPR005, RPR006).
+"""The built-in local rule pack (RPR001-RPR003, RPR005, RPR006, RPR008).
 
 Each rule machine-checks one invariant PRs 1-3 introduced by
 convention:
@@ -17,6 +17,12 @@ convention:
   plans silently stop applying inside workers.
 * **RPR006** -- no ``==`` / ``!=`` against float literals; use a
   tolerance (:func:`math.isclose`) instead.
+* **RPR008** -- path materialisation outside :mod:`repro.core` goes
+  through the shared measure context
+  (:class:`~repro.core.measures.base.MeasureContext`) or a
+  :class:`~repro.core.cache.PathMatrixCache`, never by importing
+  ``materialise`` directly -- a direct call skips the cache's byte
+  budget and its plan metrics.
 
 The lock-discipline rule **RPR004** lives in
 :mod:`repro.analysis.lockgraph` (it builds whole-project state).
@@ -35,6 +41,7 @@ __all__ = [
     "NondeterminismRule",
     "ContextPropagationRule",
     "FloatEqualityRule",
+    "MaterialiseImportRule",
 ]
 
 
@@ -314,6 +321,58 @@ class FloatEqualityRule(BaseRule):
                             f"float-literal equality (against "
                             f"{values[0]!r}): use math.isclose or a "
                             "tolerance comparison",
+                        )
+                    )
+        return findings
+
+
+@register
+class MaterialiseImportRule(BaseRule):
+    """RPR008: no ``materialise`` imports outside :mod:`repro.core`.
+
+    :func:`repro.core.backend.materialise` is the raw planned-compute
+    entry point; code outside the core package that imports it skips
+    the :class:`~repro.core.cache.PathMatrixCache` byte-budget
+    accounting and the per-plan metrics that
+    :class:`~repro.core.measures.base.MeasureContext` (and the cache's
+    own methods) layer on top.  PR 6's bugfix removed exactly such a
+    bypass from the PathSim baseline; this rule keeps new ones out.
+    Library-internal exceptions (e.g. the degradation ladder, which
+    *is* a limits-enforcement layer) are baselined with justification.
+    """
+
+    rule_id = "RPR008"
+    summary = "materialise imported outside repro/core"
+
+    def __init__(
+        self,
+        library_prefix: str = "src/repro",
+        core_prefix: str = "src/repro/core/",
+    ) -> None:
+        self.library_prefix = library_prefix
+        self.core_prefix = core_prefix
+
+    def check(self, file: SourceFile) -> List[Finding]:
+        """Flag ``from ... import materialise`` outside the core."""
+        if not file.rel.startswith(self.library_prefix):
+            return []
+        if file.rel.startswith(self.core_prefix):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for alias in node.names:
+                if alias.name == "materialise":
+                    findings.append(
+                        self.finding(
+                            file,
+                            node,
+                            "materialise import outside repro/core: "
+                            "route path materialisation through "
+                            "MeasureContext (repro.core.measures) or "
+                            "PathMatrixCache so the byte budget and "
+                            "plan metrics apply",
                         )
                     )
         return findings

@@ -4,14 +4,22 @@ The classic type-blind, link-based relevance baseline from the related
 work.  A walker restarts at the query node with probability ``1 - damping``
 and otherwise steps along a (symmetrised) global adjacency.  Scores are
 asymmetric and not path-aware -- the two properties HeteSim adds.
+
+The power iteration itself lives in
+:func:`repro.core.measures.pagerank.restart_walk_scores` (shared with
+the registered ``ppr`` measure plugin, and deadline-aware under
+:class:`~repro.runtime.limits.ExecutionLimits`); these wrappers keep
+the legacy call signatures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.measures import MeasureContext, get_measure
+from ..core.measures.pagerank import restart_walk_scores
 from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
 from ..hin.matrices import row_normalize
@@ -56,17 +64,13 @@ def personalized_pagerank(
     restart = np.zeros(index.num_nodes)
     restart[start] = 1.0
 
-    scores = restart.copy()
-    for _ in range(max_iterations):
-        stepped = np.asarray(scores @ walk).ravel()
-        # Mass lost at dangling nodes returns to the restart vector so the
-        # result stays a probability distribution.
-        lost = 1.0 - stepped.sum()
-        updated = damping * (stepped + lost * restart) + (1 - damping) * restart
-        if np.abs(updated - scores).sum() < tol:
-            scores = updated
-            break
-        scores = updated
+    scores = restart_walk_scores(
+        walk,
+        restart,
+        damping=damping,
+        tol=tol,
+        max_iterations=max_iterations,
+    )
     return scores, index
 
 
@@ -82,10 +86,10 @@ def ppr_rank(
     The restart-walk analogue of :meth:`HeteSimEngine.rank`; used as a
     path-blind comparison point in the examples.
     """
-    scores, index = personalized_pagerank(
-        graph, source_type, source_key, damping=damping
+    return get_measure("ppr").rank_types(
+        MeasureContext(graph=graph),
+        source_type,
+        source_key,
+        target_type,
+        damping=damping,
     )
-    keys = graph.node_keys(target_type)
-    block = scores[index.type_slice(target_type, len(keys))]
-    order = sorted(range(len(keys)), key=lambda i: (-block[i], keys[i]))
-    return [(keys[i], float(block[i])) for i in order]

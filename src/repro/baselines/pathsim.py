@@ -9,17 +9,25 @@ where ``M = W_PL @ W_PL'`` is the (unnormalised) path-instance count
 matrix.  Unlike HeteSim, PathSim is undefined for asymmetric paths and for
 different-typed endpoint pairs -- the restriction the paper's Tables 4 and
 6 contrast against.
+
+These functions are thin wrappers over the registered ``pathsim``
+measure plugin (:mod:`repro.core.measures.pathsim`): the count matrix
+is materialised through the shared compute entry point
+(:meth:`~repro.core.measures.base.MeasureContext.count_matrix`), so a
+:class:`~repro.core.cache.PathMatrixCache` passed to
+:func:`path_count_matrix` accounts these counts under its byte budget
+instead of bypassing it.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
-from ..core.backend import materialise
-from ..hin.errors import PathError, QueryError
+from ..core.cache import PathMatrixCache
+from ..core.measures import MeasureContext, get_measure
 from ..hin.graph import HeteroGraph
 from ..hin.metapath import MetaPath
 
@@ -32,7 +40,9 @@ __all__ = [
 
 
 def path_count_matrix(
-    graph: HeteroGraph, path: MetaPath
+    graph: HeteroGraph,
+    path: MetaPath,
+    cache: Optional[PathMatrixCache] = None,
 ) -> sparse.csr_matrix:
     """Path-instance counts between endpoint pairs: the product of the
     (unnormalised) adjacency matrices along the path.
@@ -42,17 +52,9 @@ def path_count_matrix(
     work, and for PathSim's symmetric paths ``P = PL PL^-1`` the shared
     half ``W_PL`` is computed once and closed with its transpose
     (``M = W_PL W_PL'``) instead of multiplying the mirror out again.
+    Pass a cache to store the counts under its byte budget.
     """
-    matrix, _ = materialise(graph, path, weights="adjacency")
-    return matrix
-
-
-def _require_symmetric(path: MetaPath) -> None:
-    if not path.is_symmetric:
-        raise PathError(
-            f"PathSim requires a symmetric path; {path.code()} is not "
-            "(this is exactly the limitation HeteSim removes)"
-        )
+    return MeasureContext(graph=graph, cache=cache).count_matrix(path)
 
 
 def pathsim_matrix(graph: HeteroGraph, path: MetaPath) -> np.ndarray:
@@ -60,13 +62,7 @@ def pathsim_matrix(graph: HeteroGraph, path: MetaPath) -> np.ndarray:
 
     Raises :class:`~repro.hin.errors.PathError` for asymmetric paths.
     """
-    _require_symmetric(path)
-    counts = path_count_matrix(graph, path).toarray()
-    diagonal = np.diag(counts)
-    denominator = diagonal[:, None] + diagonal[None, :]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scores = np.where(denominator > 0, 2.0 * counts / denominator, 0.0)
-    return scores
+    return get_measure("pathsim").matrix(MeasureContext(graph=graph), path)
 
 
 def pathsim_pair(
@@ -76,38 +72,15 @@ def pathsim_pair(
     target_key: str,
 ) -> float:
     """``PathSim(source, target | path)`` for one same-typed pair."""
-    _require_symmetric(path)
-    type_name = path.source_type.name
-    for key in (source_key, target_key):
-        if not graph.has_node(type_name, key):
-            raise QueryError(f"{key!r} is not a {type_name!r} node")
-    i = graph.node_index(type_name, source_key)
-    j = graph.node_index(type_name, target_key)
-    counts = path_count_matrix(graph, path)
-    m_ab = counts[i, j]
-    m_aa = counts[i, i]
-    m_bb = counts[j, j]
-    denominator = m_aa + m_bb
-    if denominator == 0:
-        return 0.0
-    return float(2.0 * m_ab / denominator)
+    return get_measure("pathsim").pair(
+        MeasureContext(graph=graph), path, source_key, target_key
+    )
 
 
 def pathsim_rank(
     graph: HeteroGraph, path: MetaPath, source_key: str
 ) -> List[Tuple[str, float]]:
     """All same-typed objects ranked by PathSim to ``source_key``."""
-    _require_symmetric(path)
-    type_name = path.source_type.name
-    if not graph.has_node(type_name, source_key):
-        raise QueryError(f"{source_key!r} is not a {type_name!r} node")
-    i = graph.node_index(type_name, source_key)
-    counts = path_count_matrix(graph, path)
-    row = counts.getrow(i).toarray().ravel()
-    diagonal = counts.diagonal()
-    denominator = diagonal[i] + diagonal
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scores = np.where(denominator > 0, 2.0 * row / denominator, 0.0)
-    keys = graph.node_keys(type_name)
-    order = sorted(range(len(keys)), key=lambda n: (-scores[n], keys[n]))
-    return [(keys[n], float(scores[n])) for n in order]
+    return get_measure("pathsim").rank(
+        MeasureContext(graph=graph), path, source_key
+    )

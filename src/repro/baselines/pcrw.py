@@ -7,6 +7,11 @@ ends at ``t`` -- i.e. an entry of the reachable probability matrix
 ``PM_P`` (Definition 9).  Because the forward and backward walks normalise
 differently, ``PCRW(s, t | P) != PCRW(t, s | P^-1)`` in general, which is
 exactly the deficiency Tables 3-4 illustrate.
+
+These functions are thin wrappers over the registered ``pcrw`` measure
+plugin (:mod:`repro.core.measures.walk`); single-source calls keep the
+one-hot :func:`~repro.core.reachprob.reach_row` propagation, all-pairs
+calls materialise ``PM_P`` through the shared compute layer.
 """
 
 from __future__ import annotations
@@ -15,11 +20,10 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..hin.errors import QueryError
+from ..core.cache import PathMatrixCache
+from ..core.measures import MeasureContext, get_measure
 from ..hin.graph import HeteroGraph
 from ..hin.metapath import MetaPath
-from ..core.cache import PathMatrixCache
-from ..core.reachprob import reach_prob, reach_row
 
 __all__ = ["pcrw_pair", "pcrw_matrix", "pcrw_vector", "pcrw_rank"]
 
@@ -31,11 +35,12 @@ def pcrw_matrix(
 ) -> np.ndarray:
     """All-pairs PCRW scores: the dense ``PM_P``.
 
-    Materialised through the planned compute layer via
-    :func:`repro.core.reachprob.reach_prob`; pass a cache to reuse
-    stored prefixes across paths.
+    Materialised through the planned compute layer; pass a cache to
+    reuse stored prefixes across paths.
     """
-    return reach_prob(graph, path, cache=cache).toarray()
+    return get_measure("pcrw").matrix(
+        MeasureContext(graph=graph, cache=cache), path
+    )
 
 
 def pcrw_pair(
@@ -45,18 +50,18 @@ def pcrw_pair(
     target_key: str,
 ) -> float:
     """``PCRW(source, target | path)`` -- one reach probability."""
-    target_type = path.target_type.name
-    if not graph.has_node(target_type, target_key):
-        raise QueryError(f"{target_key!r} is not a {target_type!r} node")
-    row = reach_row(graph, path, source_key)
-    return float(row[graph.node_index(target_type, target_key)])
+    return get_measure("pcrw").pair(
+        MeasureContext(graph=graph), path, source_key, target_key
+    )
 
 
 def pcrw_vector(
     graph: HeteroGraph, path: MetaPath, source_key: str
 ) -> np.ndarray:
     """PCRW scores of one source against every target-type object."""
-    return reach_row(graph, path, source_key)
+    return get_measure("pcrw").vector(
+        MeasureContext(graph=graph), path, source_key
+    )
 
 
 def pcrw_rank(
@@ -66,7 +71,6 @@ def pcrw_rank(
 
     Ties break by node key for determinism.
     """
-    scores = pcrw_vector(graph, path, source_key)
-    keys = graph.node_keys(path.target_type.name)
-    order = sorted(range(len(keys)), key=lambda i: (-scores[i], keys[i]))
-    return [(keys[i], float(scores[i])) for i in order]
+    return get_measure("pcrw").rank(
+        MeasureContext(graph=graph), path, source_key
+    )

@@ -109,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true",
         help="report the raw meeting probability instead of the cosine",
     )
+    query.add_argument(
+        "--measure",
+        default="hetesim",
+        help="relevance measure plugin (see the 'measures' command); "
+        "non-default measures run limits in fail mode",
+    )
     _add_limit_arguments(query)
 
     topk = commands.add_parser("topk", help="rank targets for one source")
@@ -116,6 +122,12 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--path", required=True)
     topk.add_argument("--source", required=True)
     topk.add_argument("-k", type=int, default=10)
+    topk.add_argument(
+        "--measure",
+        default="hetesim",
+        help="relevance measure plugin (see the 'measures' command); "
+        "non-default measures run limits in fail mode",
+    )
     _add_limit_arguments(topk)
 
     profile = commands.add_parser(
@@ -232,10 +244,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--queries",
         required=True,
         nargs="+",
-        metavar="SOURCE:PATH",
-        help="queries as SOURCE:PATH items, e.g. Tom:APC Mary:APVC",
+        metavar="SOURCE:PATH[@MEASURE]",
+        help="queries as SOURCE:PATH items, e.g. Tom:APC Mary:APVC; "
+        "append @MEASURE to route one query to another measure "
+        "plugin, e.g. Tom:APCPA@pathsim",
     )
     serve_batch.add_argument("-k", type=int, default=10)
+    serve_batch.add_argument(
+        "--measure",
+        default="hetesim",
+        help="default measure for items without an @MEASURE suffix",
+    )
     serve_batch.add_argument(
         "--workers",
         type=int,
@@ -249,6 +268,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument(
         "--trace", action="store_true",
         help="record execution spans and print the span tree to stderr",
+    )
+
+    commands.add_parser(
+        "measures",
+        help="list the registered relevance measure plugins",
     )
 
     metrics = commands.add_parser(
@@ -461,6 +485,13 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
 
+    if args.command == "measures":
+        from .core.measures import available_measures
+
+        for name, description in available_measures().items():
+            print(f"{name:10s} {description}")
+        return 0
+
     if args.command == "doctor":
         from .runtime.doctor import run_doctor
 
@@ -541,16 +572,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         queries = []
         for item in args.queries:
             source, sep, spec = item.rpartition(":")
-            if not sep or not source or not spec:
+            spec, at, measure = spec.partition("@")
+            if not sep or not source or not spec or (at and not measure):
                 print(
                     f"error: bad --queries item {item!r} "
-                    "(expected SOURCE:PATH)",
+                    "(expected SOURCE:PATH[@MEASURE])",
                     file=sys.stderr,
                 )
                 return 2
             queries.append(
                 Query(
-                    source, spec, k=args.k, normalized=not args.raw
+                    source,
+                    spec,
+                    k=args.k,
+                    normalized=not args.raw,
+                    measure=measure if at else args.measure,
                 )
             )
         server = QueryServer(HeteSimEngine(graph))
@@ -609,6 +645,51 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     engine = HeteSimEngine(graph)
+
+    if args.command == "query" and args.measure != "hetesim":
+        from .core.measures import get_measure
+
+        measure = get_measure(args.measure)
+        kind = "raw" if args.raw else "normalized"
+        limits = _limits_from(args)
+        if limits is not None:
+            from .runtime.limits import execution_scope
+
+            with execution_scope(tracker=limits.tracker()):
+                score = measure.pair(
+                    engine.measures, args.path, args.source,
+                    args.target, normalized=not args.raw,
+                )
+        else:
+            score = measure.pair(
+                engine.measures, args.path, args.source, args.target,
+                normalized=not args.raw,
+            )
+        print(
+            f"{args.measure}({args.source}, {args.target} | "
+            f"{args.path}) [{kind}] = {score:.6f}"
+        )
+        return 0
+
+    if args.command == "topk" and args.measure != "hetesim":
+        from .core.measures import get_measure
+
+        measure = get_measure(args.measure)
+        limits = _limits_from(args)
+        if limits is not None:
+            from .runtime.limits import execution_scope
+
+            with execution_scope(tracker=limits.tracker()):
+                ranking = measure.top_k(
+                    engine.measures, args.path, args.source, k=args.k
+                )
+        else:
+            ranking = measure.top_k(
+                engine.measures, args.path, args.source, k=args.k
+            )
+        for rank, (key, score) in enumerate(ranking, start=1):
+            print(f"{rank:3d}  {key}  {score:.6f}")
+        return 0
 
     if args.command == "query":
         limits = _limits_from(args)

@@ -12,6 +12,18 @@ from .backend import PlanStats, StepStat, execute_plan, materialise, reach_prob_
 from .cache import CacheStats, PathMatrixCache
 from .engine import HeteSimEngine
 from .explain import Contribution, explain_relevance
+from .measures import (
+    CombinedFit,
+    CombinedMeasure,
+    Measure,
+    MeasureContext,
+    PreparedMeasure,
+    QueryShape,
+    available_measures,
+    fit_combined_weights,
+    get_measure,
+    register_measure,
+)
 from .lowrank import LowRankHeteSim
 from .hetesim import (
     half_reach_matrices,
@@ -34,8 +46,18 @@ from .threshold import ThresholdSearchResult, threshold_top_k
 
 __all__ = [
     "CacheStats",
+    "CombinedFit",
+    "CombinedMeasure",
     "Contribution",
     "HeteSimEngine",
+    "Measure",
+    "MeasureContext",
+    "PreparedMeasure",
+    "QueryShape",
+    "available_measures",
+    "fit_combined_weights",
+    "get_measure",
+    "register_measure",
     "LowRankHeteSim",
     "explain_relevance",
     "execute_plan",

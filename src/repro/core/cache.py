@@ -39,9 +39,19 @@ PathKey = Tuple[str, ...]
 #: How many recent per-plan execution records the cache retains.
 PLAN_LOG_LIMIT = 32
 
+#: Namespace token prefixing keys of adjacency-weighted (path-count)
+#: products, so they can never collide with -- or be substituted as
+#: prefixes of -- the transition-weighted ``PM`` entries.
+COUNT_NAMESPACE = "#counts"
+
 
 def _key(path: MetaPath) -> PathKey:
     return tuple(relation.name for relation in path.relations)
+
+
+def _relation_names(key: PathKey) -> PathKey:
+    """The relation-name part of a key (namespace tokens stripped)."""
+    return tuple(name for name in key if not name.startswith("#"))
 
 
 def _matrix_nbytes(matrix: sparse.csr_matrix) -> int:
@@ -158,9 +168,11 @@ class PathMatrixCache:
     # ------------------------------------------------------------------
     def _fresh(self, key: PathKey) -> bool:
         """Whether the cached entry for ``key`` reflects the current
-        graph (per-relation version signature match)."""
+        graph (per-relation version signature match).  Namespace tokens
+        (``#``-prefixed, e.g. :data:`COUNT_NAMESPACE`) are not relation
+        names and are excluded from the signature."""
         return self._signatures.get(key) == self.graph.relations_signature(
-            key
+            _relation_names(key)
         )
 
     def _touch(self, key: PathKey) -> None:
@@ -247,6 +259,39 @@ class PathMatrixCache:
             self.graph,
             plan,
             store=self._seeder(versions) if self.cache_prefixes else None,
+        )
+        self._record(stats)
+        return matrix
+
+    def count_matrix(self, path: MetaPath) -> sparse.csr_matrix:
+        """Path-instance counts ``W_P`` (adjacency weights), cached.
+
+        The PathSim factor source routed through the same planned
+        compute layer and byte budget as the ``PM`` entries.  Entries
+        live under a namespaced key (:data:`COUNT_NAMESPACE` prepended
+        to the relation names) so a count product can never be mistaken
+        for -- or substituted as a prefix of -- a transition-weighted
+        matrix.  The plan is built *without* the cache: prefix
+        substitution only stores plain keys, and handing those to an
+        adjacency-weighted chain would splice transition factors into a
+        count product; planning standalone also keeps the
+        mirrored-half reuse for symmetric paths.
+        """
+        names = _key(path)
+        key = (COUNT_NAMESPACE,) + names
+        with self._lock:
+            cached = self._matrices.get(key)
+            if cached is not None and self._fresh(key):
+                self._hits.inc()
+                self._touch(key)
+                return cached
+            self._misses.inc()
+
+        versions = self._versions_before_plan(names)
+        plan = plan_path(self.graph, path, weights="adjacency")
+        matrix, stats = execute_plan(self.graph, plan)
+        self._store(
+            key, matrix, tuple(versions[name] for name in names)
         )
         self._record(stats)
         return matrix

@@ -113,6 +113,23 @@ class HeteSimEngine:
             "repro_halves_memo_hits_total",
             "halves() calls served from the fresh memo.",
         ).labels(engine=self.obs_label)
+        self._measure_context = None
+
+    @property
+    def measures(self):
+        """The engine-backed :class:`~repro.core.measures.MeasureContext`.
+
+        Measure plugins resolved against this context share the
+        engine's half-matrix memo and path-matrix cache, so plugin
+        queries and native engine queries reuse each other's work.
+        """
+        if self._measure_context is None:
+            from .measures import MeasureContext
+
+            with self._locks_guard:
+                if self._measure_context is None:
+                    self._measure_context = MeasureContext(engine=self)
+        return self._measure_context
 
     # ------------------------------------------------------------------
     # path handling

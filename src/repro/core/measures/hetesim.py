@@ -1,0 +1,101 @@
+"""HeteSim as a measure plugin (the paper's Definition 10 / Eq. 6).
+
+Scoring state is the pair of half matrices ``(PM_PL, PM_{PR^-1})``
+plus their row norms, obtained through
+:meth:`~repro.core.measures.base.MeasureContext.halves` -- i.e. the
+engine's single-flight memo when one is attached.  That sharing is
+what lets a mixed-measure batch (plain HeteSim plus a
+:class:`~repro.core.measures.combined.CombinedMeasure` component on
+the same path) materialise each path's halves exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ...hin.matrices import safe_reciprocal
+from ...hin.metapath import PathSpec
+from .base import (
+    Measure,
+    MeasureContext,
+    PreparedMeasure,
+    QueryShape,
+    register_measure,
+)
+
+__all__ = ["HeteSimMeasure", "HeteSimPrepared"]
+
+
+class HeteSimPrepared(PreparedMeasure):
+    """Half matrices + row norms, with a memoised raw block GEMM.
+
+    ``score_rows`` computes the raw block ``left[rows] @ right.T``
+    once per distinct row set and derives both normalisation modes
+    from it, so a group mixing ``normalized`` flags still costs one
+    GEMM.
+    """
+
+    def __init__(self, ctx, shape, halves) -> None:
+        super().__init__(ctx, shape)
+        self.left, self.right, self.left_norms, self.right_norms = halves
+        self._blocks: Dict[Tuple[int, ...], np.ndarray] = {}
+        #: Nonzeros of the most recent raw block product.
+        self.last_block_nnz = 0
+
+    def _raw_block(self, rows: Tuple[int, ...]) -> np.ndarray:
+        block = self._blocks.get(rows)
+        if block is None:
+            product = self.left[list(rows), :] @ self.right.T
+            self.last_block_nnz = int(product.nnz)
+            block = product.toarray()
+            self._blocks[rows] = block
+        return block
+
+    def score_rows(
+        self, rows: Sequence[int], normalized: bool = True
+    ) -> np.ndarray:
+        block = self._raw_block(tuple(rows))
+        if not normalized:
+            return block
+        scale_right = safe_reciprocal(self.right_norms)
+        scored = np.empty_like(block)
+        for position, row in enumerate(rows):
+            if self.left_norms[row] == 0:
+                scored[position] = np.zeros_like(block[position])
+            else:
+                scored[position] = block[position] * (
+                    scale_right / self.left_norms[row]
+                )
+        return scored
+
+
+class HeteSimMeasure(Measure):
+    """Cosine of the two walkers' meeting distributions (Def. 10)."""
+
+    name = "hetesim"
+    description = (
+        "HeteSim: cosine of the forward/backward reach distributions "
+        "(raw mode: the Eq. 6 meeting probability)"
+    )
+
+    def resolve(self, ctx: MeasureContext, spec: PathSpec) -> QueryShape:
+        meta = ctx.path(spec)
+        return QueryShape(
+            group_key=tuple(r.name for r in meta.relations),
+            source_type=meta.source_type.name,
+            target_type=meta.target_type.name,
+            display=meta.code(),
+        )
+
+    def _prepare(
+        self, ctx: MeasureContext, spec: PathSpec
+    ) -> HeteSimPrepared:
+        meta = ctx.path(spec)
+        return HeteSimPrepared(
+            ctx, self.resolve(ctx, spec), ctx.halves(meta)
+        )
+
+
+register_measure(HeteSimMeasure())

@@ -81,6 +81,7 @@ def _ensure_loaded() -> None:
         fig5_decomposition,
         fig6_rank_difference,
         fig7_reach_distribution,
+        measures_compare,
         robustness,
         table1_author_profile,
         table2_conference_profile,

@@ -1,27 +1,34 @@
-"""Batched query serving: group-by-path block GEMM scoring.
+"""Batched query serving: group-by-(measure, path) block scoring.
 
 The on-line half of Section 4.6 at serving scale.  A
-:class:`BatchRequest` carries many independent top-k queries; the
-server answers them by
+:class:`BatchRequest` carries many independent top-k queries -- each
+naming the relevance :class:`~repro.core.measures.base.Measure` that
+should answer it; the server answers them by
 
-1. **grouping** the queries by meta path (distinct paths are the unit
-   of materialisation work);
-2. **materialising** each group's half matrices exactly once through
-   the engine's :class:`~repro.core.cache.PathMatrixCache`-backed memo
-   -- concurrently across groups when ``workers > 1`` (scipy releases
-   the GIL inside sparse products);
+1. **grouping** the queries by ``(measure, group key)``, where the
+   group key comes from the measure's cheap
+   :meth:`~repro.core.measures.base.Measure.resolve` (for path-based
+   measures the relation-name tuple; for the path-blind PPR the
+   endpoint-type pair, so ``APC`` and ``APVC`` queries share one walk);
+2. **preparing** each group's scoring state exactly once through the
+   shared :class:`~repro.core.measures.base.MeasureContext` -- for
+   HeteSim (and every HeteSim component of a ``combined`` query) that
+   is the engine's single-flight half-matrix memo, so a mixed batch
+   materialises each path's halves once -- concurrently across groups
+   when ``workers > 1`` (scipy releases the GIL inside sparse
+   products);
 3. **scoring** all of a group's distinct sources with a single block
-   sparse GEMM ``left[rows] @ right.T`` plus vectorised cosine
-   normalisation -- one matrix product instead of one product per
-   query;
+   pass (:meth:`~repro.core.measures.base.PreparedMeasure.score_rows`:
+   one sparse GEMM plus vectorised normalisation for HeteSim) -- one
+   matrix product instead of one product per query;
 4. **selecting** each query's top-k with
    :func:`~repro.core.search.select_top_k` (argpartition, never a full
    sort of the target axis, deterministic key-order tie-break).
 
-Results are element-wise identical to running
-:func:`~repro.core.hetesim.hetesim_all_targets` per query, at a
-fraction of the cost: the halves are built once per path instead of
-once per query, and the GEMM batches every row of a group.
+Results are element-wise identical to running each measure's
+single-query functions per query, at a fraction of the cost: the
+scoring state is built once per group instead of once per query, and
+the block pass batches every row of a group.
 """
 
 from __future__ import annotations
@@ -34,9 +41,9 @@ import numpy as np
 
 from ..hin.errors import QueryError
 from ..hin.graph import HeteroGraph
-from ..hin.matrices import safe_reciprocal
-from ..hin.metapath import MetaPath, PathSpec
+from ..hin.metapath import PathSpec
 from ..core.engine import HeteSimEngine
+from ..core.measures import Measure, QueryShape, get_measure
 from ..core.search import select_top_k
 from ..obs.metrics import (
     GROUP_SIZE_BUCKETS,
@@ -50,21 +57,21 @@ _BATCH_QUERIES = REGISTRY.counter(
     "repro_batch_queries_total", "Queries answered by batch serving."
 )
 _BATCH_GROUPS = REGISTRY.counter(
-    "repro_batch_groups_total", "Distinct path groups scored."
+    "repro_batch_groups_total", "Distinct (measure, path) groups scored."
 )
 _GROUP_SIZES = REGISTRY.histogram(
     "repro_batch_group_size",
-    "Queries per distinct-path group within one batch.",
+    "Queries per distinct (measure, path) group within one batch.",
     buckets=GROUP_SIZE_BUCKETS,
 )
 _GEMM_SECONDS = REGISTRY.histogram(
     "repro_batch_gemm_seconds",
-    "Wall time of one group's block GEMM.",
+    "Wall time of one group's block scoring pass.",
     buckets=SECONDS_BUCKETS,
 )
 _GEMM_NNZ = REGISTRY.histogram(
     "repro_batch_gemm_nnz",
-    "Nonzeros of one group's block GEMM product.",
+    "Nonzeros of one group's block score matrix.",
     buckets=NNZ_BUCKETS,
 )
 
@@ -84,14 +91,18 @@ class Query:
     """One top-k relevance query inside a batch.
 
     ``path`` accepts any :data:`~repro.hin.metapath.PathSpec` form
-    (code string, relation names, :class:`~repro.hin.metapath.MetaPath`);
-    ``k=None`` asks for the full ranking of the target type.
+    (code string, relation names, :class:`~repro.hin.metapath.MetaPath`)
+    -- or, for multi-path measures like ``combined``, a weighted path
+    set such as ``"APC=0.7,APVC=0.3"``.  ``measure`` names any
+    registered measure plugin (default HeteSim); ``k=None`` asks for
+    the full ranking of the target type.
     """
 
     source: str
     path: PathSpec
     k: Optional[int] = 10
     normalized: bool = True
+    measure: str = "hetesim"
 
     def __post_init__(self) -> None:
         if self.k is not None and self.k < 1:
@@ -103,7 +114,7 @@ class BatchRequest:
     """A batch of queries plus the materialisation concurrency to use.
 
     ``workers`` bounds the thread pool that materialises (and scores)
-    distinct path groups in parallel; ``workers=1`` runs everything
+    distinct groups in parallel; ``workers=1`` runs everything
     sequentially in the calling thread and is the reference semantics
     -- parallel runs return identical results.
     """
@@ -135,14 +146,15 @@ class QueryResult:
 class BatchStats:
     """How a batch was executed (per-request observability).
 
-    ``halves_materialised`` counts the materialisation *events* the
-    batch actually triggered, read as a delta of the engine's
-    ``repro_halves_materialisations_total`` counter around the
-    dispatch -- on a warm engine it is 0, on a cold one it equals
-    ``num_groups``.  Counting events (rather than pre-probing
-    ``has_halves`` before dispatch) keeps the number honest when
-    concurrent traffic or a racing ``warm()`` materialises a group's
-    halves between the probe and the scoring.
+    ``halves_materialised`` counts the half-matrix materialisation
+    *events* the batch actually triggered, read as a delta of the
+    engine's ``repro_halves_materialisations_total`` counter around the
+    dispatch -- on a warm engine it is 0, on a cold one it equals the
+    number of distinct paths HeteSim-family groups (including
+    ``combined`` components) needed.  Counting events (rather than
+    pre-probing ``has_halves`` before dispatch) keeps the number honest
+    when concurrent traffic or a racing ``warm()`` materialises a
+    group's halves between the probe and the scoring.
     """
 
     num_queries: int
@@ -156,7 +168,7 @@ class BatchStats:
         """One-line rendering (the ``serve-batch`` CLI footer)."""
         return (
             f"batch: {self.num_queries} queries in {self.num_groups} "
-            f"path group(s) {list(self.group_sizes)}, "
+            f"group(s) {list(self.group_sizes)}, "
             f"{self.halves_materialised} half materialisation(s), "
             f"{self.workers} worker(s), {self.seconds * 1e3:.1f} ms"
         )
@@ -176,9 +188,11 @@ class BatchResult:
 
 @dataclass
 class _Group:
-    """All queries of one distinct meta path, with request positions."""
+    """All queries of one ``(measure, group key)``, with positions."""
 
-    meta: MetaPath
+    measure: Measure
+    shape: QueryShape
+    spec: PathSpec
     members: List[Tuple[int, Query, int]] = field(default_factory=list)
 
 
@@ -194,7 +208,8 @@ class QueryServer:
     --------
     >>> server = QueryServer(engine)                     # doctest: +SKIP
     >>> request = BatchRequest(
-    ...     [Query("Tom", "APC", k=5), Query("Mary", "APC", k=5)],
+    ...     [Query("Tom", "APC", k=5),
+    ...      Query("Mary", "APCPA", k=5, measure="pathsim")],
     ...     workers=4,
     ... )                                                # doctest: +SKIP
     >>> result = server.run(request)                     # doctest: +SKIP
@@ -242,10 +257,14 @@ class QueryServer:
 
         started = time.perf_counter()
         groups = self._group(request.queries)
-        _BATCH_QUERIES.inc(len(request.queries))
-        _BATCH_GROUPS.inc(len(groups))
         for group in groups:
-            _GROUP_SIZES.observe(len(group.members))
+            _BATCH_QUERIES.labels(measure=group.measure.name).inc(
+                len(group.members)
+            )
+            _BATCH_GROUPS.labels(measure=group.measure.name).inc()
+            _GROUP_SIZES.labels(measure=group.measure.name).observe(
+                len(group.members)
+            )
         before = self.engine.materialisation_count
         with trace_span(
             "batch.run",
@@ -284,17 +303,21 @@ class QueryServer:
     # internals
     # ------------------------------------------------------------------
     def _group(self, queries: Sequence[Query]) -> List[_Group]:
-        """Resolve paths/sources up front and bucket by path key.
+        """Resolve measures/paths/sources up front and bucket queries.
 
         Resolution happens before any materialisation so a malformed
-        query fails the batch fast, naming its position.
+        query fails the batch fast, naming its position.  The bucket
+        key is ``(measure name, measure group key)``: what may share
+        one prepared scoring state is the measure's own call.
         """
-        groups: Dict[Tuple[str, ...], _Group] = {}
+        ctx = self.engine.measures
+        groups: Dict[Tuple[str, tuple], _Group] = {}
         for position, query in enumerate(queries):
             try:
-                meta = self.engine.path(query.path)
+                measure = get_measure(query.measure)
+                shape = measure.resolve(ctx, query.path)
                 row = self.engine.graph.node_index(
-                    meta.source_type.name, query.source
+                    shape.source_type, query.source
                 )
             except QueryError:
                 raise
@@ -303,50 +326,56 @@ class QueryServer:
                     f"query #{position} ({query.source!r} | "
                     f"{query.path!r}) is invalid: {exc}"
                 ) from exc
-            key = tuple(r.name for r in meta.relations)
-            groups.setdefault(key, _Group(meta=meta)).members.append(
-                (position, query, row)
-            )
+            key = (measure.name, shape.group_key)
+            groups.setdefault(
+                key,
+                _Group(measure=measure, shape=shape, spec=query.path),
+            ).members.append((position, query, row))
         return list(groups.values())
 
     def _score_group(
         self, group: _Group
     ) -> List[Tuple[Tuple[str, float], ...]]:
-        """One block GEMM for all of a group's sources, then per-query
-        normalisation and top-k selection."""
+        """One block scoring pass for all of a group's sources, then
+        per-query top-k selection."""
         with trace_span(
             "batch.score_group",
-            path=group.meta.code(),
+            measure=group.measure.name,
+            path=group.shape.display,
             size=len(group.members),
         ) as group_span:
-            left, right, left_norms, right_norms = self.engine.halves(
-                group.meta
+            prepared = group.measure.prepare(
+                self.engine.measures, group.spec
             )
             rows = sorted({row for _, _, row in group.members})
             row_position = {row: i for i, row in enumerate(rows)}
+            flags = sorted(
+                {query.normalized for _, query, _ in group.members}
+            )
             tick = time.perf_counter()
-            product = left[rows, :] @ right.T
+            blocks = {
+                flag: prepared.score_rows(rows, normalized=flag)
+                for flag in flags
+            }
             gemm_seconds = time.perf_counter() - tick
-            _GEMM_SECONDS.observe(gemm_seconds)
-            _GEMM_NNZ.observe(product.nnz)
+            # HeteSim-family prepared states expose the sparse product's
+            # nnz; for dense-scoring measures count the block directly.
+            nnz = getattr(prepared, "last_block_nnz", None)
+            if nnz is None:
+                nnz = int(np.count_nonzero(blocks[flags[0]]))
+            measure_label = group.measure.name
+            _GEMM_SECONDS.labels(measure=measure_label).observe(
+                gemm_seconds
+            )
+            _GEMM_NNZ.labels(measure=measure_label).observe(nnz)
             group_span.set(
-                gemm_ms=round(gemm_seconds * 1e3, 3), nnz=product.nnz
+                gemm_ms=round(gemm_seconds * 1e3, 3), nnz=nnz
             )
-            block = product.toarray()
-            keys = self.engine.graph.node_keys(
-                group.meta.target_type.name
-            )
-            scale_right = safe_reciprocal(right_norms)
+            keys = prepared.target_keys()
 
             rankings: List[Tuple[Tuple[str, float], ...]] = []
             for _, query, row in group.members:
-                raw = block[row_position[row]]
-                if not query.normalized:
-                    scores = raw
-                elif left_norms[row] == 0:
-                    scores = np.zeros_like(raw)
-                else:
-                    scores = raw * (scale_right / left_norms[row])
+                scores = blocks[query.normalized][row_position[row]]
                 k = len(keys) if query.k is None else query.k
                 rankings.append(tuple(select_top_k(scores, keys, k)))
             return rankings

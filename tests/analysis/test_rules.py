@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the local rule pack (RPR001-003, 005, 006).
+"""Fixture-driven tests for the local rule pack (RPR001-003, 005, 006, 008).
 
 Each rule gets at least one *bad* snippet (asserting the exact rule id
 and line) and one *good* snippet (asserting silence), so every rule is
@@ -14,6 +14,7 @@ from repro.analysis import (
     ContextPropagationRule,
     DensifyRule,
     FloatEqualityRule,
+    MaterialiseImportRule,
     NondeterminismRule,
     TypedErrorRule,
 )
@@ -253,5 +254,54 @@ class TestFloatEqualityRule:
             import math
             ok = mass <= 0.0 or math.isclose(mass, 0.0, abs_tol=1e-12)
             """,
+        )
+        assert findings == []
+
+
+class TestMaterialiseImportRule:
+    def test_import_outside_core_flagged_with_line(self):
+        findings = lint(
+            MaterialiseImportRule(),
+            """\
+            import numpy as np
+            from repro.core.backend import materialise
+
+            def score(graph, path):
+                return materialise(graph, path)
+            """,
+            rel="src/repro/baselines/example.py",
+        )
+        assert [(f.rule, f.line) for f in findings] == [("RPR008", 2)]
+        assert "MeasureContext" in findings[0].message
+
+    def test_relative_import_outside_core_flagged(self):
+        findings = lint(
+            MaterialiseImportRule(),
+            "from ..core.backend import materialise\n",
+            rel="src/repro/serve/example.py",
+        )
+        assert [f.rule for f in findings] == ["RPR008"]
+
+    def test_core_file_allowed(self):
+        findings = lint(
+            MaterialiseImportRule(),
+            "from ..backend import materialise\n",
+            rel="src/repro/core/measures/example.py",
+        )
+        assert findings == []
+
+    def test_other_names_from_backend_allowed(self):
+        findings = lint(
+            MaterialiseImportRule(),
+            "from repro.core.backend import plan_chain\n",
+            rel="src/repro/baselines/example.py",
+        )
+        assert findings == []
+
+    def test_non_library_file_silent(self):
+        findings = lint(
+            MaterialiseImportRule(),
+            "from repro.core.backend import materialise\n",
+            rel="tests/test_x.py",
         )
         assert findings == []

@@ -17,10 +17,10 @@ def results():
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert all_experiments() == [
             "citations", "complexity", "fig5", "fig6", "fig7",
-            "robustness",
+            "measures", "robustness",
             "table1", "table2", "table3", "table4", "table5", "table6",
             "table7",
         ]
@@ -278,3 +278,27 @@ class TestComplexityShape:
     def test_materialisation_speeds_up_queries(self, results):
         material = results["complexity"].data["materialization"]
         assert material["warm_s"] < material["cold_s"]
+
+
+class TestMeasuresShape:
+    def test_every_registered_measure_ranked(self, results):
+        from repro.core.measures import available_measures
+
+        rankings = results["measures"].data["rankings"]
+        assert set(rankings) == set(available_measures())
+
+    def test_hetesim_and_pathsim_rank_query_author_first(self, results):
+        data = results["measures"].data
+        for name in ("hetesim", "pathsim"):
+            assert data["rankings"][name][0][0] == data["author"]
+
+    def test_pcrw_violates_self_maximum(self, results):
+        data = results["measures"].data
+        assert data["rankings"]["pcrw"][0][0] != data["author"]
+
+    def test_reachprob_matches_pcrw(self, results):
+        rankings = results["measures"].data["rankings"]
+        assert rankings["reachprob"] == rankings["pcrw"]
+
+    def test_hetesim_overlap_is_reference(self, results):
+        assert results["measures"].data["overlaps"]["hetesim"] == 10

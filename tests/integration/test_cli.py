@@ -381,3 +381,104 @@ class TestTraceCommand:
             child["name"] == "engine.materialise_halves"
             for child in warm.get("children", [])
         )
+
+
+class TestMeasuresCommand:
+    def test_lists_every_registered_plugin(self, capsys):
+        code = main(["measures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in (
+            "combined", "hetesim", "pathsim", "pcrw", "ppr", "reachprob",
+        ):
+            assert name in out
+
+
+class TestMeasureFlag:
+    def test_query_with_pathsim(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APA",
+             "--source", "Tom", "--target", "Tom",
+             "--measure", "pathsim"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pathsim(Tom, Tom | APA)" in out
+        assert "1.000000" in out
+
+    def test_query_with_pcrw(self, graph_file, capsys):
+        # Tom's papers (p1, p2) both land in KDD: reach probability 1.
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD",
+             "--measure", "pcrw"]
+        )
+        assert code == 0
+        assert "1.000000" in capsys.readouterr().out
+
+    def test_query_unknown_measure_exits_nonzero(self, graph_file, capsys):
+        code = main(
+            ["query", graph_file, "--path", "APC",
+             "--source", "Tom", "--target", "KDD",
+             "--measure", "simrankish"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_topk_with_measure(self, graph_file, capsys):
+        code = main(
+            ["topk", graph_file, "--path", "APC", "--source", "Mary",
+             "-k", "2", "--measure", "reachprob"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        # Mary's papers split evenly between the two conferences.
+        assert "0.500000" in lines[0]
+
+
+class TestServeBatchMeasures:
+    def test_at_suffix_routes_one_query(self, graph_file, capsys):
+        code = main(
+            ["serve-batch", graph_file,
+             "--queries", "Tom:APC", "Mary:APC@pcrw", "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tom | APC:" in out
+        assert "Mary | APC:" in out
+        assert "0.500000" in out  # pcrw's even split for Mary
+
+    def test_default_measure_flag_applies_to_all(self, graph_file, capsys):
+        code = main(
+            ["serve-batch", graph_file, "--measure", "pcrw",
+             "--queries", "Mary:APC", "-k", "2"]
+        )
+        assert code == 0
+        assert "0.500000" in capsys.readouterr().out
+
+    def test_bad_item_with_empty_measure_exits_nonzero(
+        self, graph_file, capsys
+    ):
+        code = main(
+            ["serve-batch", graph_file, "--queries", "Tom:APC@"]
+        )
+        assert code == 2
+        assert "SOURCE:PATH[@MEASURE]" in capsys.readouterr().err
+
+    def test_unknown_suffix_measure_exits_nonzero(
+        self, graph_file, capsys
+    ):
+        code = main(
+            ["serve-batch", graph_file, "--queries", "Tom:APC@nope"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_combined_query_in_batch(self, graph_file, capsys):
+        code = main(
+            ["serve-batch", graph_file,
+             "--queries", "Tom:APC=0.7,APCPAPC=0.3@combined", "-k", "2"]
+        )
+        assert code == 0
+        assert "Tom | APC=0.7,APCPAPC=0.3:" in capsys.readouterr().out

@@ -1,0 +1,1 @@
+"""Tests for the measure plugin protocol (repro.core.measures)."""

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the measure plugin layer.
+
+On random author-paper-conference networks every plugin must agree
+with an independently computed reference -- the core HeteSim kernels,
+raw adjacency-chain products, and one-hot walk propagation, none of
+which go through :mod:`repro.core.measures` -- and ``combined`` must
+be exactly the weighted sum of its components' HeteSim scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hetesim import hetesim_all_targets, hetesim_matrix
+from repro.core.measures import MeasureContext, get_measure
+from repro.core.reachprob import reach_row
+from repro.datasets.random_hin import make_random_hin
+from repro.datasets.schemas import toy_apc_schema
+from repro.hin.graph import HeteroGraph
+
+
+@st.composite
+def apc_graphs(draw):
+    """A random author-paper-conference graph (every type populated)."""
+    n_a = draw(st.integers(1, 6))
+    n_p = draw(st.integers(1, 6))
+    n_c = draw(st.integers(1, 3))
+    writes = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_a - 1), st.integers(0, n_p - 1)),
+            min_size=1,
+            max_size=n_a * n_p,
+        )
+    )
+    published = draw(
+        st.sets(
+            st.tuples(st.integers(0, n_p - 1), st.integers(0, n_c - 1)),
+            min_size=1,
+            max_size=n_p * n_c,
+        )
+    )
+    graph = HeteroGraph(toy_apc_schema())
+    graph.add_nodes("author", (f"a{i}" for i in range(n_a)))
+    graph.add_nodes("paper", (f"p{i}" for i in range(n_p)))
+    graph.add_nodes("conference", (f"c{i}" for i in range(n_c)))
+    for i, j in writes:
+        graph.add_edge("writes", f"a{i}", f"p{j}")
+    for i, j in published:
+        graph.add_edge("published_in", f"p{i}", f"c{j}")
+    return graph
+
+
+@st.composite
+def seeded_hins(draw):
+    """A seeded :func:`make_random_hin` draw (denser, reproducible)."""
+    return make_random_hin(
+        toy_apc_schema(),
+        sizes={
+            "author": draw(st.integers(3, 10)),
+            "paper": draw(st.integers(3, 15)),
+            "conference": draw(st.integers(2, 4)),
+        },
+        edge_prob=draw(
+            st.floats(0.1, 0.6, allow_nan=False, allow_infinity=False)
+        ),
+        seed=draw(st.integers(0, 1000)),
+    )
+
+
+def adjacency_counts(graph, path):
+    matrix = graph.adjacency(path.relations[0].name)
+    for relation in path.relations[1:]:
+        matrix = matrix @ graph.adjacency(relation.name)
+    return matrix.toarray()
+
+
+class TestPluginsMatchReferences:
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hetesim_plugin_matches_core_matrix(self, graph):
+        ctx = MeasureContext(graph=graph)
+        for spec in ("APC", "APCPA"):
+            expected = hetesim_matrix(graph, graph.schema.path(spec))
+            got = get_measure("hetesim").matrix(ctx, spec)
+            np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_hetesim_plugin_rank_matches_core_vector(self, graph):
+        ctx = MeasureContext(graph=graph)
+        path = graph.schema.path("APC")
+        keys = graph.node_keys("conference")
+        for source in graph.node_keys("author")[:3]:
+            vector = hetesim_all_targets(graph, path, source)
+            expected = sorted(
+                zip(keys, vector), key=lambda kv: (-kv[1], kv[0])
+            )
+            got = get_measure("hetesim").rank(ctx, "APC", source)
+            assert [k for k, _ in got] == [k for k, _ in expected]
+            np.testing.assert_allclose(
+                [s for _, s in got], [s for _, s in expected], atol=1e-12
+            )
+
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_pathsim_plugin_matches_adjacency_chain(self, graph):
+        ctx = MeasureContext(graph=graph)
+        path = graph.schema.path("APCPA")
+        counts = adjacency_counts(graph, path)
+        diagonal = np.diag(counts)
+        denominator = diagonal[:, None] + diagonal[None, :]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            expected = np.where(
+                denominator > 0, 2.0 * counts / denominator, 0.0
+            )
+        got = get_measure("pathsim").matrix(ctx, "APCPA")
+        assert np.array_equal(got, expected)
+
+    @given(apc_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_walk_plugins_match_one_hot_propagation(self, graph):
+        ctx = MeasureContext(graph=graph)
+        path = graph.schema.path("APC")
+        for source in graph.node_keys("author")[:3]:
+            expected = reach_row(graph, path, source)
+            for name in ("pcrw", "reachprob"):
+                got = get_measure(name).vector(ctx, "APC", source)
+                assert np.array_equal(got, expected), name
+
+    @given(apc_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pair_entries_agree_with_matrix(self, graph):
+        ctx = MeasureContext(graph=graph)
+        authors = graph.node_keys("author")[:3]
+        confs = graph.node_keys("conference")[:2]
+        for name, spec in (("hetesim", "APC"), ("pcrw", "APC")):
+            matrix = get_measure(name).matrix(ctx, spec)
+            for s in authors:
+                i = graph.node_index("author", s)
+                for t in confs:
+                    j = graph.node_index("conference", t)
+                    pair = get_measure(name).pair(ctx, spec, s, t)
+                    assert pair == pytest.approx(
+                        matrix[i, j], abs=1e-12
+                    ), name
+
+
+class TestCombinedIsWeightedSum:
+    @given(
+        seeded_hins(),
+        st.floats(0.05, 0.95, allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_combined_vector_is_weighted_hetesim_sum(self, hin, weight):
+        ctx = MeasureContext(graph=hin)
+        spec = f"APC={weight:.4f},APCPAPC={1 - weight:.4f}"
+        hetesim = get_measure("hetesim")
+        source = hin.node_keys("author")[0]
+        w1 = float(f"{weight:.4f}")
+        w2 = float(f"{1 - weight:.4f}")
+        total = w1 + w2
+        expected = (
+            (w1 / total) * hetesim.vector(ctx, "APC", source)
+            + (w2 / total) * hetesim.vector(ctx, "APCPAPC", source)
+        )
+        got = get_measure("combined").vector(ctx, spec, source)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    @given(seeded_hins())
+    @settings(max_examples=25, deadline=None)
+    def test_degenerate_combined_equals_plain_hetesim(self, hin):
+        ctx = MeasureContext(graph=hin)
+        source = hin.node_keys("author")[0]
+        got = get_measure("combined").vector(ctx, "APC=1.0", source)
+        expected = get_measure("hetesim").vector(ctx, "APC", source)
+        np.testing.assert_allclose(got, expected, atol=1e-12)

@@ -1,0 +1,232 @@
+"""Mixed-measure batches: grouping, sharing and limits across plugins.
+
+The acceptance contract for the measure layer at serving scale:
+
+* a mixed batch answers every query exactly as a per-measure batch
+  would (grouping by ``(measure, group key)`` never changes scores);
+* HeteSim-family groups (including ``combined`` components) share the
+  engine's half-matrix memo, so one path's halves materialise once no
+  matter how many measures touch it -- asserted via the engine's
+  materialisation-counter delta;
+* walk measures on one path share the cached ``PM`` across groups;
+* PPR groups path-blind (endpoint types), so differently-pathed PPR
+  queries land in one group;
+* execution limits trip identically whether groups run in one worker
+  or many.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.core.measures import MeasureContext, get_measure
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.errors import DeadlineExceededError, QueryError
+from repro.hin.schema import NetworkSchema
+from repro.runtime.limits import ExecutionLimits
+from repro.serve import BatchRequest, Query, QueryServer
+
+COMBINED_SPEC = "APC=0.6,APCPAPC=0.4"
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return make_random_hin(
+        _schema(),
+        sizes={"author": 30, "paper": 50, "conf": 6},
+        edge_prob=0.1,
+        seed=3,
+        ensure_connected_rows=True,
+    )
+
+
+def _mixed_queries(hin):
+    sources = hin.node_keys("author")
+    return (
+        [Query(s, "APC", k=4) for s in sources[:6]]
+        + [Query(s, "APCPA", k=4, measure="pathsim") for s in sources[:6]]
+        + [Query(s, "APC", k=4, measure="pcrw") for s in sources[:4]]
+        + [Query(s, "APC", k=4, measure="reachprob") for s in sources[:4]]
+        + [Query(s, COMBINED_SPEC, k=4, measure="combined")
+           for s in sources[:4]]
+        + [Query(s, "APC", k=4, measure="ppr") for s in sources[:2]]
+    )
+
+
+class TestMixedBatchEquality:
+    def test_mixed_batch_equals_per_measure_batches(self, hin):
+        queries = _mixed_queries(hin)
+        mixed = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=1)
+        )
+        by_measure = {}
+        for position, query in enumerate(queries):
+            by_measure.setdefault(query.measure, []).append(
+                (position, query)
+            )
+        for measure, members in by_measure.items():
+            single = QueryServer(HeteSimEngine(hin)).run(
+                BatchRequest([q for _, q in members], workers=1)
+            )
+            for (position, _), result in zip(members, single.results):
+                assert mixed.results[position] == result, measure
+
+    def test_mixed_batch_parallel_equals_sequential(self, hin):
+        queries = _mixed_queries(hin)
+        sequential = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=1)
+        )
+        parallel = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(queries, workers=8)
+        )
+        assert parallel.results == sequential.results
+
+    def test_combined_ranking_matches_plugin(self, hin):
+        source = hin.node_keys("author")[0]
+        batch = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(
+                [Query(source, COMBINED_SPEC, k=5, measure="combined")]
+            )
+        )
+        direct = get_measure("combined").top_k(
+            MeasureContext(graph=hin), COMBINED_SPEC, source, k=5
+        )
+        assert list(batch.results[0].ranking) == direct
+
+
+class TestCrossMeasureSharing:
+    def test_halves_shared_across_hetesim_and_combined(self, hin):
+        """ISSUE acceptance: hetesim-on-APC and combined-on-(APC + one
+        more path) must materialise APC's halves exactly once between
+        them -- the counter delta is 2 (APC once, APCPAPC once), not 3.
+        """
+        engine = HeteSimEngine(hin)
+        sources = hin.node_keys("author")
+        before = engine.materialisation_count
+        QueryServer(engine).run(
+            BatchRequest(
+                [Query(s, "APC", k=4) for s in sources[:4]]
+                + [Query(s, COMBINED_SPEC, k=4, measure="combined")
+                   for s in sources[:4]],
+                workers=1,
+            )
+        )
+        assert engine.materialisation_count - before == 2
+
+    def test_repeat_batch_materialises_nothing(self, hin):
+        engine = HeteSimEngine(hin)
+        server = QueryServer(engine)
+        request = BatchRequest(_mixed_queries(hin), workers=1)
+        first = server.run(request)
+        assert first.stats.halves_materialised > 0
+        second = server.run(request)
+        assert second.stats.halves_materialised == 0
+        assert second.results == first.results
+
+    def test_walk_measures_share_cached_pm(self, hin):
+        """pcrw and reachprob groups on one path hit one cache entry."""
+        engine = HeteSimEngine(hin)
+        sources = hin.node_keys("author")
+        misses = engine.cache.stats().misses
+        hits = engine.cache.stats().hits
+        QueryServer(engine).run(
+            BatchRequest(
+                [Query(s, "APCPA", k=4, measure="pcrw")
+                 for s in sources[:3]]
+                + [Query(s, "APCPA", k=4, measure="reachprob")
+                   for s in sources[:3]],
+                workers=1,
+            )
+        )
+        stats = engine.cache.stats()
+        assert stats.misses == misses + 1
+        assert stats.hits >= hits + 1
+
+
+class TestGrouping:
+    def test_mixed_measures_same_path_form_distinct_groups(self, hin):
+        result = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(
+                [
+                    Query("A0", "APC", k=3),
+                    Query("A0", "APC", k=3, measure="pcrw"),
+                    Query("A0", "APC", k=3, measure="reachprob"),
+                ]
+            )
+        )
+        assert result.stats.num_groups == 3
+
+    def test_ppr_groups_are_path_blind(self, hin):
+        """APC and APCPAPC share endpoint types, so one PPR group (and
+        one global walk) answers both."""
+        result = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(
+                [
+                    Query("A0", "APC", k=3, measure="ppr"),
+                    Query("A1", "APCPAPC", k=3, measure="ppr"),
+                ]
+            )
+        )
+        assert result.stats.num_groups == 1
+        assert result.results[0].query.path == "APC"
+        assert result.results[1].query.path == "APCPAPC"
+
+    def test_unknown_measure_fails_fast(self, hin):
+        server = QueryServer(HeteSimEngine(hin))
+        with pytest.raises(QueryError, match="hetesim"):
+            server.run(
+                BatchRequest(
+                    [Query("A0", "APC", measure="simrankish")]
+                )
+            )
+
+    def test_mismatched_combined_paths_fail_fast(self, hin):
+        server = QueryServer(HeteSimEngine(hin))
+        with pytest.raises(QueryError, match="endpoint"):
+            server.run(
+                BatchRequest(
+                    [Query("A0", "APC,APCPA", measure="combined")]
+                )
+            )
+
+
+class TestLimitsAcrossMeasures:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_zero_deadline_trips_identically(self, hin, workers):
+        server = QueryServer(HeteSimEngine(hin))
+        request = BatchRequest(
+            [
+                Query("A0", "APC"),
+                Query("A0", "APCPA", measure="pathsim"),
+                Query("A0", "APC", measure="pcrw"),
+                Query("A0", COMBINED_SPEC, measure="combined"),
+            ],
+            workers=workers,
+        )
+        with pytest.raises(DeadlineExceededError):
+            server.run(request, limits=ExecutionLimits(deadline_ms=0))
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_generous_limits_pass(self, hin, workers):
+        result = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(
+                [
+                    Query("A0", "APC", k=3),
+                    Query("A0", "APC", k=3, measure="pcrw"),
+                ],
+                workers=workers,
+            ),
+            limits=ExecutionLimits(deadline_ms=60_000),
+        )
+        assert len(result.results) == 2
