@@ -1,0 +1,236 @@
+"""Process-tier benchmarks: multi-core GEMM vs the thread dispatcher.
+
+The tentpole claim under measurement: sharding a batch's block GEMMs
+across worker processes (``backend="process"``, halves in shared
+memory) scales with *cores*, where the thread tier's Python glue
+serialises on the GIL -- ``BENCH_serve.json`` recorded a workers=4
+thread *slowdown* on pure materialisation.  Results are written
+machine-readable to ``BENCH_procs.json`` at the repository root.
+
+Every section records ``usable_cpus`` (scheduler affinity clamped by
+the cgroup CPU quota) alongside its timings, and the >= 2.5x speedup
+gate applies **only when the host actually has >= 4 usable CPUs**: on
+a quota-limited single-core container the honest number is ~1x and
+gating on it would test the infrastructure, not the code.  What is
+*always* gated, on every host, is correctness -- process-tier results
+must be byte-identical to the single-worker thread reference.
+
+Under ``--benchmark-disable`` (the CI smoke mode) the network shrinks,
+timing is not asserted and the JSON is not rewritten; the registry
+dump (``BENCH_procs_metrics.json``) is written in every mode and CI
+uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+from repro.obs.export import render_json
+from repro.serve import BatchRequest, Query, QueryServer
+from repro.serve.procs import usable_cpus
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_procs.json"
+METRICS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_procs_metrics.json"
+)
+
+N_QUERIES = 64
+TOP_K = 10
+WORKERS = 4
+#: Required scaling when the host can actually run 4 workers at once.
+SPEEDUP_GATE = 2.5
+FULL_SIZES = {"author": 1200, "paper": 2400, "conf": 200}
+QUICK_SIZES = {"author": 60, "paper": 90, "conf": 12}
+PATHS = ["APCPA", "APCP", "CPAPC"]
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+def _quick(config) -> bool:
+    try:
+        return bool(config.getoption("--benchmark-disable"))
+    except (ValueError, KeyError):
+        return False
+
+
+@pytest.fixture(scope="module")
+def procs_hin(request):
+    sizes = QUICK_SIZES if _quick(request.config) else FULL_SIZES
+    return make_random_hin(
+        _schema(),
+        sizes=sizes,
+        edge_prob=8.0 / sizes["paper"],
+        edge_probs={"published_in": 3.0 / sizes["conf"]},
+        seed=11,
+        ensure_connected_rows=True,
+    )
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_procs.json (machine-readable)."""
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results[section] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _gate_speedup(speedup: float, cpus: int, what: str) -> None:
+    if cpus >= WORKERS:
+        assert speedup >= SPEEDUP_GATE, (
+            f"{what}: process tier only {speedup:.2f}x with "
+            f"{WORKERS} workers on {cpus} usable CPUs "
+            f"(need >= {SPEEDUP_GATE}x)"
+        )
+
+
+def _queries(graph):
+    return [
+        Query(source, spec, k=TOP_K)
+        for spec in PATHS
+        for source in graph.node_keys(
+            graph.schema.path(spec).source_type.name
+        )[:N_QUERIES]
+    ]
+
+
+def _batch(graph, workers, backend):
+    queries = _queries(graph)
+    server = QueryServer(HeteSimEngine(graph))
+    start = time.perf_counter()
+    result = server.run(
+        BatchRequest(queries, workers=workers, backend=backend)
+    )
+    return result, time.perf_counter() - start
+
+
+def test_process_batch_scaling(procs_hin, request):
+    """64-source multi-path batch: process workers 1 vs 4 vs thread.
+
+    Byte-identical rankings are gated unconditionally; the >= 2.5x
+    scaling gate applies when the host has >= 4 usable CPUs.
+    """
+    quick = _quick(request.config)
+    graph = procs_hin
+    cpus = usable_cpus()
+
+    reference, thread_seconds = _batch(graph, 1, "thread")
+    process1, process1_seconds = _batch(graph, 1, "process")
+    process4, process4_seconds = _batch(graph, WORKERS, "process")
+
+    assert process1.rankings() == reference.rankings()
+    assert process4.rankings() == reference.rankings()
+    assert process1.results == reference.results
+    assert process4.results == reference.results
+
+    speedup = (
+        process1_seconds / process4_seconds
+        if process4_seconds > 0
+        else float("inf")
+    )
+    if quick:
+        return
+    _record(
+        "process_batch_scaling",
+        {
+            "paths": PATHS,
+            "n_queries": len(_queries(graph)),
+            "k": TOP_K,
+            "sizes": FULL_SIZES,
+            "usable_cpus": cpus,
+            "thread_workers1_seconds": thread_seconds,
+            "process_workers1_seconds": process1_seconds,
+            "process_workers4_seconds": process4_seconds,
+            "speedup_workers4_vs_workers1": speedup,
+            "speedup_gated": cpus >= WORKERS,
+        },
+    )
+    _gate_speedup(speedup, cpus, "batch scoring")
+
+
+def test_process_warm_scaling(procs_hin, request):
+    """Off-line warm of distinct paths: process workers 1 vs 4.
+
+    Warm parallelism is across paths (one worker materialises one
+    path), so scaling needs both cores and enough distinct paths.
+    Adopted halves are gated byte-identical to in-process ones on
+    every host.
+    """
+    quick = _quick(request.config)
+    graph = procs_hin
+    cpus = usable_cpus()
+
+    start = time.perf_counter()
+    single = HeteSimEngine(graph)
+    single.warm(PATHS, workers=1, backend="process")
+    workers1_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = HeteSimEngine(graph)
+    pooled.warm(PATHS, workers=WORKERS, backend="process")
+    workers4_seconds = time.perf_counter() - start
+
+    reference = HeteSimEngine(graph)
+    for spec in PATHS:
+        ref_left, ref_right, ref_ln, ref_rn = reference.halves(
+            reference.path(spec)
+        )
+        for engine in (single, pooled):
+            left, right, left_norms, right_norms = engine.halves(
+                engine.path(spec)
+            )
+            assert (left != ref_left).nnz == 0
+            assert (right != ref_right).nnz == 0
+            np.testing.assert_array_equal(left_norms, ref_ln)
+            np.testing.assert_array_equal(right_norms, ref_rn)
+
+    speedup = (
+        workers1_seconds / workers4_seconds
+        if workers4_seconds > 0
+        else float("inf")
+    )
+    if quick:
+        return
+    _record(
+        "process_warm_scaling",
+        {
+            "paths": PATHS,
+            "sizes": FULL_SIZES,
+            "usable_cpus": cpus,
+            "workers1_seconds": workers1_seconds,
+            "workers4_seconds": workers4_seconds,
+            "speedup_workers4_vs_workers1": speedup,
+            "speedup_gated": cpus >= WORKERS,
+        },
+    )
+    _gate_speedup(speedup, cpus, "warm materialisation")
+
+
+def test_metrics_dump_written_last():
+    """Snapshot the observability registry next to the results.
+
+    Runs after the process benches (pytest executes this file in
+    definition order), so the dump includes the process-tier task
+    counters and the merged worker-side registries.  Written in quick
+    mode too: the CI smoke step uploads it as an artifact.
+    """
+    METRICS_PATH.write_text(render_json() + "\n")
+    dumped = json.loads(METRICS_PATH.read_text())
+    assert "repro_procs_tasks_total" in dumped
+    assert "repro_shm_bytes_published_total" in dumped

@@ -147,8 +147,12 @@ def test_batch_vs_sequential_single_path(serve_hin, request):
 
 
 def test_parallel_materialisation_scaling(serve_hin, request):
-    """Distinct-path materialisation with 1 vs 4 workers (recorded,
-    not gated: thread scaling depends on the host)."""
+    """Distinct-path materialisation: thread vs process dispatch.
+
+    Recorded, not gated -- scaling depends on the host; the process
+    tier's own gated bench lives in ``test_bench_procs.py``.  Both
+    backends must reproduce the single-worker results exactly.
+    """
     quick = _quick(request.config)
     graph = serve_hin
     specs = ["APC", "APCPA", "APCP", "CPA", "CPAPC"]
@@ -172,7 +176,14 @@ def test_parallel_materialisation_scaling(serve_hin, request):
     )
     workers4_seconds = time.perf_counter() - start
 
+    start = time.perf_counter()
+    processed = QueryServer(HeteSimEngine(graph)).run(
+        BatchRequest(queries, workers=4, backend="process")
+    )
+    workers4_process_seconds = time.perf_counter() - start
+
     assert pooled.results == single.results
+    assert processed.results == single.results
     if quick:
         return
     _record(
@@ -183,9 +194,15 @@ def test_parallel_materialisation_scaling(serve_hin, request):
             "sizes": FULL_SIZES,
             "workers1_seconds": workers1_seconds,
             "workers4_seconds": workers4_seconds,
+            "workers4_process_seconds": workers4_process_seconds,
             "speedup": (
                 workers1_seconds / workers4_seconds
                 if workers4_seconds > 0
+                else None
+            ),
+            "process_speedup": (
+                workers1_seconds / workers4_process_seconds
+                if workers4_process_seconds > 0
                 else None
             ),
         },

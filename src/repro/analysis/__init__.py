@@ -50,6 +50,7 @@ from .rules import (
     FloatEqualityRule,
     MaterialiseImportRule,
     NondeterminismRule,
+    SharedMemoryLeaseRule,
     TypedErrorRule,
 )
 from .runner import LintResult, iter_python_files, run_lint
@@ -67,6 +68,7 @@ __all__ = [
     "NondeterminismRule",
     "PairedStateRule",
     "Rule",
+    "SharedMemoryLeaseRule",
     "SourceFile",
     "Suppression",
     "TypedErrorRule",

@@ -1,4 +1,4 @@
-"""The built-in local rule pack (RPR001-RPR003, RPR005, RPR006, RPR008).
+"""The built-in local rule pack (RPR001-003, RPR005, RPR006, RPR008, RPR009).
 
 Each rule machine-checks one invariant PRs 1-3 introduced by
 convention:
@@ -23,6 +23,11 @@ convention:
   :class:`~repro.core.cache.PathMatrixCache`, never by importing
   ``materialise`` directly -- a direct call skips the cache's byte
   budget and its plan metrics.
+* **RPR009** -- shared-memory segments must have a guaranteed release
+  path: every ``SharedMemory(...)`` construction is adopted into a
+  :class:`~repro.core.shm.ShmLease` (directly or via a bound name) or
+  cleaned up in a ``finally`` block, so a raised exception can never
+  leak a named kernel object.
 
 The lock-discipline rule **RPR004** lives in
 :mod:`repro.analysis.lockgraph` (it builds whole-project state).
@@ -42,6 +47,7 @@ __all__ = [
     "ContextPropagationRule",
     "FloatEqualityRule",
     "MaterialiseImportRule",
+    "SharedMemoryLeaseRule",
 ]
 
 
@@ -376,6 +382,131 @@ class MaterialiseImportRule(BaseRule):
                         )
                     )
         return findings
+
+
+@register
+class SharedMemoryLeaseRule(BaseRule):
+    """RPR009: every ``SharedMemory`` segment needs a guaranteed release.
+
+    A ``multiprocessing.shared_memory.SharedMemory`` is a named kernel
+    object: an exception between construction and ``close()`` /
+    ``unlink()`` leaks the mapping -- and, for the creating side, the
+    segment itself, which survives process exit.  The shared-memory
+    data plane (:mod:`repro.core.shm`) therefore adopts every segment
+    into a :class:`~repro.core.shm.ShmLease` whose context-manager /
+    ``finally`` release discipline makes leaks structural
+    impossibilities.  The rule flags any ``SharedMemory(...)``
+    construction that is neither (a) an argument of an ``.adopt(...)``
+    guard call, nor (b) bound to a name the same scope later passes to
+    ``.adopt(...)`` or ``close()``/``unlink()``s inside a ``finally``
+    block.
+    """
+
+    rule_id = "RPR009"
+    summary = (
+        "SharedMemory(...) without lease adoption or finally cleanup"
+    )
+
+    def check(self, file: SourceFile) -> List[Finding]:
+        """Flag unguarded ``SharedMemory`` constructions."""
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "SharedMemory":
+                continue
+            scope = file.enclosing_function(node) or file.tree
+            if _segment_guarded(node, scope):
+                continue
+            findings.append(
+                self.finding(
+                    file,
+                    node,
+                    "SharedMemory segment without a guaranteed "
+                    "release path: adopt it into a ShmLease "
+                    "(repro.core.shm) or close()/unlink() it in a "
+                    "finally block",
+                )
+            )
+        return findings
+
+
+def _segment_guarded(call: ast.Call, scope: ast.AST) -> bool:
+    """Whether a ``SharedMemory(...)`` call has a guaranteed cleanup.
+
+    Either the construction itself is an ``.adopt(...)`` argument, or
+    its bound name is adopted / ``finally``-released somewhere in the
+    same scope.  Purely lexical -- the rule asks "is there *a* release
+    path", not "does every control flow reach it"; the lease idiom
+    makes the latter true wherever the former is.
+    """
+    if _adopt_argument(call, scope, argument=call):
+        return True
+    bound = _binding_name(call, scope)
+    if bound is None:
+        return False
+    if _adopt_argument(call, scope, name=bound):
+        return True
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for statement in node.finalbody:
+            for sub in ast.walk(statement):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("close", "unlink")
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == bound
+                ):
+                    return True
+    return False
+
+
+def _adopt_argument(
+    call: ast.Call,
+    scope: ast.AST,
+    argument: Optional[ast.Call] = None,
+    name: Optional[str] = None,
+) -> bool:
+    """Whether ``scope`` contains ``<lease>.adopt(<argument or name>)``."""
+    for node in ast.walk(scope):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "adopt"
+        ):
+            continue
+        for arg in node.args:
+            if argument is not None and arg is argument:
+                return True
+            if (
+                name is not None
+                and isinstance(arg, ast.Name)
+                and arg.id == name
+            ):
+                return True
+    return False
+
+
+def _binding_name(call: ast.Call, scope: ast.AST) -> Optional[str]:
+    """The simple name ``call``'s result is assigned to, if any."""
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Assign)
+            and node.value is call
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            return node.targets[0].id
+        if (
+            isinstance(node, ast.NamedExpr)
+            and node.value is call
+            and isinstance(node.target, ast.Name)
+        ):
+            return node.target.id
+    return None
 
 
 def _float_literal_value(node: ast.expr) -> Optional[float]:

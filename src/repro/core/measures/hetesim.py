@@ -25,7 +25,49 @@ from .base import (
     register_measure,
 )
 
-__all__ = ["HeteSimMeasure", "HeteSimPrepared"]
+__all__ = [
+    "HeteSimMeasure",
+    "HeteSimPrepared",
+    "raw_block",
+    "normalise_block",
+]
+
+
+def raw_block(left, right, rows: Sequence[int]):
+    """``(left[rows] @ right.T).toarray()`` plus the product's nnz.
+
+    The single raw-block GEMM implementation shared by
+    :class:`HeteSimPrepared` and the process tier's shard workers
+    (:mod:`repro.serve.procs`): CSR matmul computes each output row
+    independently, so scoring a row shard through this function is
+    bit-identical to slicing those rows out of the full block --
+    the property the cross-backend determinism tests pin.
+    """
+    product = left[list(rows), :] @ right.T
+    return product.toarray(), int(product.nnz)
+
+
+def normalise_block(
+    block: np.ndarray,
+    rows: Sequence[int],
+    left_norms: np.ndarray,
+    right_norms: np.ndarray,
+) -> np.ndarray:
+    """Cosine-normalise a raw block (zero-norm rows score 0, not NaN).
+
+    Shared with the process tier's shard workers for the same
+    bit-identity reason as :func:`raw_block`.
+    """
+    scale_right = safe_reciprocal(right_norms)
+    scored = np.empty_like(block)
+    for position, row in enumerate(rows):
+        if left_norms[row] == 0:
+            scored[position] = np.zeros_like(block[position])
+        else:
+            scored[position] = block[position] * (
+                scale_right / left_norms[row]
+            )
+    return scored
 
 
 class HeteSimPrepared(PreparedMeasure):
@@ -47,9 +89,9 @@ class HeteSimPrepared(PreparedMeasure):
     def _raw_block(self, rows: Tuple[int, ...]) -> np.ndarray:
         block = self._blocks.get(rows)
         if block is None:
-            product = self.left[list(rows), :] @ self.right.T
-            self.last_block_nnz = int(product.nnz)
-            block = product.toarray()
+            block, self.last_block_nnz = raw_block(
+                self.left, self.right, rows
+            )
             self._blocks[rows] = block
         return block
 
@@ -59,16 +101,9 @@ class HeteSimPrepared(PreparedMeasure):
         block = self._raw_block(tuple(rows))
         if not normalized:
             return block
-        scale_right = safe_reciprocal(self.right_norms)
-        scored = np.empty_like(block)
-        for position, row in enumerate(rows):
-            if self.left_norms[row] == 0:
-                scored[position] = np.zeros_like(block[position])
-            else:
-                scored[position] = block[position] * (
-                    scale_right / self.left_norms[row]
-                )
-        return scored
+        return normalise_block(
+            block, rows, self.left_norms, self.right_norms
+        )
 
 
 class HeteSimMeasure(Measure):

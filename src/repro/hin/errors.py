@@ -75,6 +75,23 @@ class ResourceLimitError(ReproError):
         self.observed = observed
         self.allowed = allowed
 
+    def __reduce__(self):
+        # Exception.__reduce__ replays cls(*args), which cannot satisfy
+        # the keyword-only signature -- the default would make these
+        # errors explode in transit across a process pool.
+        return (
+            _rebuild_resource_limit_error,
+            (str(self), self.limit, self.observed, self.allowed),
+        )
+
+
+def _rebuild_resource_limit_error(
+    message: str, limit: str, observed: float, allowed: float
+) -> "ResourceLimitError":
+    return ResourceLimitError(
+        message, limit=limit, observed=observed, allowed=allowed
+    )
+
 
 class DeadlineExceededError(ResourceLimitError):
     """The query's wall-clock deadline elapsed before it finished."""
@@ -90,6 +107,12 @@ class DeadlineExceededError(ResourceLimitError):
         self.elapsed_ms = elapsed_ms
         self.deadline_ms = deadline_ms
 
+    def __reduce__(self):
+        return (
+            DeadlineExceededError,
+            (self.elapsed_ms, self.deadline_ms),
+        )
+
 
 class BudgetExceededError(ResourceLimitError):
     """A cumulative work budget (nnz, bytes, densified cells) ran out."""
@@ -101,6 +124,12 @@ class BudgetExceededError(ResourceLimitError):
             limit=limit,
             observed=observed,
             allowed=allowed,
+        )
+
+    def __reduce__(self):
+        return (
+            BudgetExceededError,
+            (self.limit, self.observed, self.allowed),
         )
 
 
@@ -142,3 +171,10 @@ class InjectedFaultError(ReproError):
         super().__init__(message)
         self.site = site
         self.occurrence = occurrence
+        self.detail = detail
+
+    def __reduce__(self):
+        return (
+            InjectedFaultError,
+            (self.site, self.occurrence, self.detail),
+        )

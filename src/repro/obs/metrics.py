@@ -40,6 +40,9 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "instance_label",
+    "export_state",
+    "diff_states",
+    "merge_delta",
 ]
 
 LabelPairs = Tuple[Tuple[str, str], ...]
@@ -191,6 +194,29 @@ class Histogram:
         out.append((float("inf"), running + slots[-1]))
         return out
 
+    def state(self) -> Dict[str, object]:
+        """Raw (non-cumulative) state for snapshot / merge transport."""
+        with self._lock:
+            return {
+                "slots": tuple(self._slots),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Add another histogram's raw state (same bucket bounds)."""
+        slots = tuple(state["slots"])  # type: ignore[arg-type]
+        if len(slots) != len(self.bounds) + 1:
+            raise QueryError(
+                f"cannot merge histogram state with {len(slots)} slots "
+                f"into {len(self.bounds) + 1} buckets"
+            )
+        with self._lock:
+            for position, slot in enumerate(slots):
+                self._slots[position] += int(slot)
+            self._sum += float(state["sum"])  # type: ignore[arg-type]
+            self._count += int(state["count"])  # type: ignore[arg-type]
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -250,6 +276,10 @@ class MetricFamily:
     def set(self, value: float) -> None:
         """``labels().set(value)`` (gauges)."""
         self.labels().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """``labels().dec(amount)`` (gauges)."""
+        self.labels().dec(amount)
 
     def observe(self, value: float) -> None:
         """``labels().observe(value)`` (histograms)."""
@@ -343,6 +373,116 @@ REGISTRY = MetricsRegistry()
 
 _INSTANCE_IDS = itertools.count()
 _INSTANCE_LOCK = threading.Lock()
+
+
+#: Picklable registry snapshot: family name -> kind/help/buckets plus a
+#: per-label-key child payload (counter total or raw histogram state).
+RegistryState = Dict[str, Dict[str, object]]
+
+
+def export_state(
+    registry: Optional[MetricsRegistry] = None,
+) -> RegistryState:
+    """Snapshot the *mergeable* series of a registry.
+
+    Counters and histograms are cumulative and therefore merge
+    additively across processes; gauges are point-in-time levels whose
+    cross-process sum has no meaning, so they are deliberately left out
+    of the snapshot (worker gauges describe the worker, not the fleet).
+    """
+    target = REGISTRY if registry is None else registry
+    state: RegistryState = {}
+    for family in target.families():
+        if family.kind == "gauge":
+            continue
+        children: Dict[LabelPairs, object] = {}
+        for child in family.children():
+            if family.kind == "counter":
+                children[child.labels] = child.value
+            else:
+                children[child.labels] = child.state()
+        state[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "buckets": family.buckets,
+            "children": children,
+        }
+    return state
+
+
+def diff_states(
+    after: RegistryState, before: RegistryState
+) -> RegistryState:
+    """``after - before``: the increments recorded between snapshots.
+
+    Children (or whole families) absent from ``before`` count from
+    zero; non-positive changes are dropped, so a worker that recorded
+    nothing contributes an empty delta.
+    """
+    delta: RegistryState = {}
+    for name, family_after in after.items():
+        family_before = before.get(name, {"children": {}})
+        before_children = family_before["children"]
+        children: Dict[LabelPairs, object] = {}
+        for key, value in family_after["children"].items():
+            previous = before_children.get(key)
+            if family_after["kind"] == "counter":
+                change = float(value) - float(previous or 0.0)
+                if change > 0:
+                    children[key] = change
+            else:
+                empty = {
+                    "slots": (0,) * len(value["slots"]),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                prior = previous or empty
+                slots = tuple(
+                    max(0, int(a) - int(b))
+                    for a, b in zip(value["slots"], prior["slots"])
+                )
+                count = int(value["count"]) - int(prior["count"])
+                total = float(value["sum"]) - float(prior["sum"])
+                if count > 0 or any(slots):
+                    children[key] = {
+                        "slots": slots,
+                        "sum": total,
+                        "count": count,
+                    }
+        if children:
+            delta[name] = {
+                "kind": family_after["kind"],
+                "help": family_after["help"],
+                "buckets": family_after["buckets"],
+                "children": children,
+            }
+    return delta
+
+
+def merge_delta(
+    delta: RegistryState,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Fold a :func:`diff_states` delta into a registry additively.
+
+    Families and labelled children are created on demand (with the
+    help text and buckets recorded in the delta), so a parent registry
+    absorbs series its own process never touched.
+    """
+    target = REGISTRY if registry is None else registry
+    for name, family_delta in delta.items():
+        if family_delta["kind"] == "counter":
+            family = target.counter(name, family_delta["help"])
+            for key, change in family_delta["children"].items():
+                family.labels(**dict(key)).inc(float(change))
+        else:
+            family = target.histogram(
+                name,
+                family_delta["help"],
+                buckets=family_delta["buckets"],
+            )
+            for key, state in family_delta["children"].items():
+                family.labels(**dict(key)).merge_state(state)
 
 
 def instance_label(prefix: str) -> str:

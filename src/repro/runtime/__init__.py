@@ -28,20 +28,25 @@ from .faults import (
     SITE_STORE_READ,
     SITE_STORE_WRITE,
     FaultPlan,
+    FaultPlanExport,
     FaultSpec,
     ambient_faults,
 )
 from .limits import (
+    ContextExport,
     ExecutionContext,
     ExecutionLimits,
     LimitTracker,
     adopt_context,
+    adopt_exported_context,
     current_context,
     execution_scope,
+    export_context,
 )
 
 __all__ = [
     "Attempt",
+    "ContextExport",
     "DEFAULT_POLICY",
     "DegradedResult",
     "DoctorCheck",
@@ -49,6 +54,7 @@ __all__ = [
     "ExecutionContext",
     "ExecutionLimits",
     "FaultPlan",
+    "FaultPlanExport",
     "FaultSpec",
     "LimitTracker",
     "ResilientRuntime",
@@ -57,9 +63,11 @@ __all__ = [
     "SITE_STORE_WRITE",
     "Strategy",
     "adopt_context",
+    "adopt_exported_context",
     "ambient_faults",
     "current_context",
     "execution_scope",
+    "export_context",
     "run_doctor",
 ]
 

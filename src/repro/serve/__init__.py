@@ -13,6 +13,12 @@ fast under *many-query* load:
   of independent materialisations with ambient execution-context
   propagation (limits and fault plans keep applying inside workers) and
   in-flight deduplication (:mod:`repro.serve.dispatch`);
+* :class:`ProcessDispatcher` / :func:`resolve_backend` -- the
+  process-parallel tier (:mod:`repro.serve.procs`): CPU-bound block
+  GEMMs shard across a process pool with halves published through
+  :mod:`multiprocessing.shared_memory`, limits/faults/metrics/spans
+  carried over the boundary; ``backend="auto"`` picks the tier per
+  host and workload;
 * :class:`WarmReport` / :meth:`HeteSimEngine.warm
   <repro.core.engine.HeteSimEngine.warm>` -- the off-line stage as an
   API: pre-materialise half matrices and persist them through
@@ -34,16 +40,20 @@ from .batch import (
     serve_batch,
 )
 from .dispatch import Dispatcher, SingleFlight, WarmReport
+from .procs import ProcessDispatcher, resolve_backend, usable_cpus
 
 __all__ = [
     "BatchRequest",
     "BatchResult",
     "BatchStats",
     "Dispatcher",
+    "ProcessDispatcher",
     "Query",
     "QueryResult",
     "QueryServer",
     "SingleFlight",
     "WarmReport",
+    "resolve_backend",
     "serve_batch",
+    "usable_cpus",
 ]

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the local rule pack (RPR001-003, 005, 006, 008).
+"""Fixture-driven tests for the local rule pack (RPR001-003, 005, 006, 008, 009).
 
 Each rule gets at least one *bad* snippet (asserting the exact rule id
 and line) and one *good* snippet (asserting silence), so every rule is
@@ -16,6 +16,7 @@ from repro.analysis import (
     FloatEqualityRule,
     MaterialiseImportRule,
     NondeterminismRule,
+    SharedMemoryLeaseRule,
     TypedErrorRule,
 )
 from repro.analysis.core import SourceFile
@@ -303,5 +304,118 @@ class TestMaterialiseImportRule:
             MaterialiseImportRule(),
             "from repro.core.backend import materialise\n",
             rel="tests/test_x.py",
+        )
+        assert findings == []
+
+
+class TestSharedMemoryLeaseRule:
+    def test_bare_construction_flagged_with_line(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing import shared_memory
+
+            def publish(nbytes):
+                segment = shared_memory.SharedMemory(create=True, size=nbytes)
+                return segment.name
+            """,
+        )
+        assert [(f.rule, f.line) for f in findings] == [("RPR009", 4)]
+        assert "ShmLease" in findings[0].message
+
+    def test_unassigned_attach_flagged(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name):
+                return SharedMemory(name=name).buf[0]
+            """,
+        )
+        assert [f.rule for f in findings] == ["RPR009"]
+
+    def test_adopt_guard_call_allowed(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing import shared_memory
+
+            def publish(lease, nbytes):
+                return lease.adopt(
+                    shared_memory.SharedMemory(create=True, size=nbytes)
+                )
+            """,
+        )
+        assert findings == []
+
+    def test_bound_name_later_adopted_allowed(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing import shared_memory
+
+            def open_segment(name, lease):
+                segment = shared_memory.SharedMemory(name=name)
+                return lease.adopt(segment)
+            """,
+        )
+        assert findings == []
+
+    def test_finally_close_allowed(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def read(name):
+                segment = SharedMemory(name=name)
+                try:
+                    return bytes(segment.buf)
+                finally:
+                    segment.close()
+            """,
+        )
+        assert findings == []
+
+    def test_finally_unlink_allowed(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def destroy(name):
+                segment = SharedMemory(name=name)
+                try:
+                    segment.close()
+                finally:
+                    segment.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_close_outside_finally_still_flagged(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def read(name):
+                segment = SharedMemory(name=name)
+                payload = bytes(segment.buf)
+                segment.close()
+                return payload
+            """,
+        )
+        assert [f.rule for f in findings] == ["RPR009"]
+
+    def test_unrelated_calls_silent(self):
+        findings = lint(
+            SharedMemoryLeaseRule(),
+            """\
+            def f(store):
+                handle = store.SharedMemoryView()
+                return handle
+            """,
         )
         assert findings == []

@@ -1,0 +1,210 @@
+"""Shared-memory publication: manifests, leases, ownership handoff.
+
+Everything here runs in one process -- the cross-process behaviour
+(publish in a worker, adopt in the parent) is exercised end to end by
+``tests/serve/test_procs.py``; these tests pin the data-plane
+invariants the process tier builds on: byte-exact round trips, the
+zero-copy / copy contract, and the lease discipline that makes segment
+leaks structurally impossible.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.shm import (
+    ShmLease,
+    attach_array,
+    attach_csr,
+    attach_halves,
+    create_segment,
+    open_segment,
+    publish_array,
+    publish_csr,
+    publish_halves,
+)
+from repro.hin.errors import QueryError
+
+
+def _csr(seed, shape=(7, 5), density=0.4):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape) * (rng.random(shape) < density)
+    return sparse.csr_matrix(dense)
+
+
+def _segment_exists(name):
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        return True
+    finally:
+        probe.close()
+
+
+class TestArrayRoundTrip:
+    def test_publish_attach_bytes_identical(self):
+        array = np.random.default_rng(0).random((6, 4))
+        with ShmLease(owner=True) as lease:
+            spec = publish_array(array, lease)
+            view = attach_array(spec, lease)
+            np.testing.assert_array_equal(view, array)
+            assert view.dtype == array.dtype
+
+    def test_copy_survives_lease_release(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        lease = ShmLease(owner=True)
+        spec = publish_array(array, lease)
+        copied = attach_array(spec, lease, copy=True)
+        lease.release()
+        np.testing.assert_array_equal(copied, array)
+
+    def test_empty_array_round_trips(self):
+        array = np.empty((0,), dtype=np.float64)
+        with ShmLease(owner=True) as lease:
+            spec = publish_array(array, lease)
+            assert spec.nbytes == 0
+            view = attach_array(spec, lease)
+            assert view.shape == (0,)
+            assert view.dtype == np.float64
+
+    def test_non_contiguous_input_published_contiguously(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        strided = base[:, ::2]
+        with ShmLease(owner=True) as lease:
+            spec = publish_array(strided, lease)
+            np.testing.assert_array_equal(
+                attach_array(spec, lease), strided
+            )
+
+
+class TestCSRRoundTrip:
+    def test_matrix_round_trips_exactly(self):
+        matrix = _csr(1)
+        with ShmLease(owner=True) as lease:
+            manifest = publish_csr(matrix, lease)
+            attached = attach_csr(manifest, lease)
+            assert attached.shape == matrix.shape
+            np.testing.assert_array_equal(attached.data, matrix.data)
+            np.testing.assert_array_equal(
+                attached.indices, matrix.indices
+            )
+            np.testing.assert_array_equal(
+                attached.indptr, matrix.indptr
+            )
+
+    def test_attached_product_matches_original(self):
+        left, right = _csr(2, (6, 5)), _csr(3, (4, 5))
+        with ShmLease(owner=True) as lease:
+            attached = attach_csr(publish_csr(left, lease), lease)
+            np.testing.assert_array_equal(
+                (attached @ right.T).toarray(),
+                (left @ right.T).toarray(),
+            )
+
+
+class TestHalvesRoundTrip:
+    def test_distinct_halves(self):
+        left, right = _csr(4, (6, 5)), _csr(5, (8, 5))
+        halves = (
+            left,
+            right,
+            np.random.default_rng(6).random(6),
+            np.random.default_rng(7).random(8),
+        )
+        with ShmLease(owner=True) as lease:
+            manifest = publish_halves(halves, lease)
+            assert not manifest.symmetric
+            assert len(manifest.segment_names()) == 8
+            a_left, a_right, a_ln, a_rn = attach_halves(
+                manifest, lease
+            )
+            np.testing.assert_array_equal(
+                a_left.toarray(), left.toarray()
+            )
+            np.testing.assert_array_equal(
+                a_right.toarray(), right.toarray()
+            )
+            np.testing.assert_array_equal(a_ln, halves[2])
+            np.testing.assert_array_equal(a_rn, halves[3])
+
+    def test_symmetric_halves_published_once_and_shared(self):
+        left = _csr(8, (6, 5))
+        norms = np.random.default_rng(9).random(6)
+        with ShmLease(owner=True) as lease:
+            manifest = publish_halves(
+                (left, left, norms, norms), lease
+            )
+            assert manifest.symmetric
+            assert manifest.right is None
+            assert len(manifest.segment_names()) == 5
+            a_left, a_right, _, _ = attach_halves(manifest, lease)
+            assert a_right is a_left
+
+
+class TestLeaseDiscipline:
+    def test_owner_release_unlinks(self):
+        lease = ShmLease(owner=True)
+        spec = publish_array(np.ones(3), lease)
+        assert _segment_exists(spec.name)
+        lease.release()
+        assert not _segment_exists(spec.name)
+
+    def test_release_is_idempotent(self):
+        lease = ShmLease(owner=True)
+        publish_array(np.ones(3), lease)
+        lease.release()
+        lease.release()
+
+    def test_non_owner_release_keeps_segment(self):
+        publisher = ShmLease(owner=True)
+        spec = publish_array(np.ones(3), publisher)
+        reader = ShmLease(owner=False)
+        attach_array(spec, reader)
+        reader.release()
+        assert _segment_exists(spec.name)
+        publisher.release()
+        assert not _segment_exists(spec.name)
+
+    def test_handoff_transfers_ownership(self):
+        publisher = ShmLease(owner=True)
+        spec = publish_array(np.arange(4.0), publisher)
+        publisher.handoff()
+        assert _segment_exists(spec.name)
+        consumer = ShmLease(owner=True)
+        np.testing.assert_array_equal(
+            attach_array(spec, consumer, copy=True), np.arange(4.0)
+        )
+        consumer.release()
+        assert not _segment_exists(spec.name)
+
+    def test_adopt_into_released_lease_raises_and_cleans_up(self):
+        lease = ShmLease(owner=True)
+        lease.release()
+        segment = shared_memory.SharedMemory(create=True, size=8)
+        name = segment.name
+        try:
+            with pytest.raises(QueryError):
+                lease.adopt(segment)
+            assert not _segment_exists(name)
+        finally:
+            if _segment_exists(name):  # pragma: no cover - cleanup
+                segment.unlink()
+
+    def test_open_segment_missing_raises_file_not_found(self):
+        with ShmLease(owner=True) as probe:
+            spec = publish_array(np.ones(2), probe)
+            name = spec.name
+        with ShmLease(owner=False) as lease:
+            with pytest.raises(FileNotFoundError):
+                open_segment(name, lease)
+
+    def test_create_segment_zero_bytes_still_maps(self):
+        with ShmLease(owner=True) as lease:
+            segment = create_segment(0, lease)
+            assert segment.size >= 1

@@ -51,7 +51,7 @@ class TestReadme:
         )
         available = set(subparsers.choices)
         text = README.read_text(encoding="utf-8")
-        used = set(re.findall(r"python -m repro\.cli (\w+)", text))
+        used = set(re.findall(r"python -m repro\.cli ([\w-]+)", text))
         assert used <= available, used - available
 
     def test_experiment_ids_mentioned_are_registered(self):

@@ -1,0 +1,374 @@
+"""Process-tier serving semantics: determinism, limits, faults, obs.
+
+The thread tier is the reference execution; everything here pins the
+process tier to it -- byte-identical rankings, the same typed errors
+with the same provenance, the same fault-site occurrence counts --
+so moving work across the process boundary can never change an
+answer.  Mirrors ``tests/serve/test_parallel.py`` one tier up.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    InjectedFaultError,
+)
+from repro.hin.schema import NetworkSchema
+from repro.runtime.faults import (
+    SITE_EXECUTOR_STEP,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.runtime.limits import ExecutionLimits, execution_scope
+from repro.serve import BatchRequest, Query, QueryServer
+from repro.serve.procs import (
+    PROCESS_MIN_EDGES,
+    ProcessDispatcher,
+    _partition,
+    graph_work_nnz,
+    resolve_backend,
+    usable_cpus,
+)
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def hin():
+    return make_random_hin(
+        _schema(),
+        sizes={"author": 30, "paper": 50, "conf": 6},
+        edge_prob=0.1,
+        seed=3,
+        ensure_connected_rows=True,
+    )
+
+
+def _queries(hin):
+    sources = hin.node_keys("author")
+    return (
+        [Query(s, "APC", k=4) for s in sources[:10]]
+        + [Query(s, "APCPA", k=4) for s in sources[:10]]
+        + [Query(s, "APCP", k=4, normalized=False) for s in sources[:5]]
+    )
+
+
+def _run(hin, queries, **kwargs):
+    return QueryServer(HeteSimEngine(hin)).run(
+        BatchRequest(queries, **kwargs)
+    )
+
+
+class TestDeterminism:
+    def test_process_matches_thread_reference(self, hin):
+        queries = _queries(hin)
+        reference = _run(hin, queries, workers=1, backend="thread")
+        for workers in (1, 4):
+            result = _run(
+                hin, queries, workers=workers, backend="process"
+            )
+            assert result.rankings() == reference.rankings()
+            assert result.results == reference.results
+
+    def test_repeated_process_runs_identical(self, hin):
+        queries = _queries(hin)
+        first = _run(hin, queries, workers=4, backend="process")
+        second = _run(hin, queries, workers=4, backend="process")
+        assert first.results == second.results
+
+    def test_mixed_measures_route_through_one_tier(self, hin):
+        queries = [
+            Query("A0", "APCPA", k=4),
+            Query("A1", "APCPA", k=4, measure="pathsim"),
+            Query("A2", "APC", k=4),
+        ]
+        reference = _run(hin, queries, workers=1, backend="thread")
+        result = _run(hin, queries, workers=4, backend="process")
+        assert result.rankings() == reference.rankings()
+
+    def test_stats_report_backend_and_workers(self, hin):
+        result = _run(
+            hin, _queries(hin)[:4], workers=3, backend="process"
+        )
+        assert result.stats.backend == "process"
+        assert result.stats.workers == 3
+        assert "[process backend]" in result.stats.summary()
+
+
+class TestWarm:
+    def test_process_warm_adopts_identical_halves(self, hin):
+        warmed = HeteSimEngine(hin)
+        report = warmed.warm(
+            ["APC", "APCPA"], workers=4, backend="process"
+        )
+        assert report.backend == "process"
+        assert "[process backend]" in report.summary()
+        assert warmed.adoption_count == 2
+        reference = HeteSimEngine(hin)
+        for spec in ("APC", "APCPA"):
+            meta = warmed.path(spec)
+            assert warmed.has_halves(meta)
+            left, right, left_norms, right_norms = warmed.halves(meta)
+            r_left, r_right, r_ln, r_rn = reference.halves(
+                reference.path(spec)
+            )
+            np.testing.assert_array_equal(
+                left.toarray(), r_left.toarray()
+            )
+            np.testing.assert_array_equal(
+                right.toarray(), r_right.toarray()
+            )
+            np.testing.assert_array_equal(left_norms, r_ln)
+            np.testing.assert_array_equal(right_norms, r_rn)
+
+    def test_warmed_engine_serves_without_rematerialising(self, hin):
+        engine = HeteSimEngine(hin)
+        engine.warm(["APC", "APCPA"], workers=2, backend="process")
+        server = QueryServer(engine)
+        result = server.run(
+            BatchRequest(
+                [Query("A0", "APC", k=3), Query("A0", "APCPA", k=3)],
+                workers=2,
+                backend="process",
+            )
+        )
+        assert result.stats.halves_materialised == 0
+        reference = _run(
+            hin,
+            [Query("A0", "APC", k=3), Query("A0", "APCPA", k=3)],
+            workers=1,
+            backend="thread",
+        )
+        assert result.rankings() == reference.rankings()
+
+    def test_warm_skips_already_fresh_paths(self, hin):
+        engine = HeteSimEngine(hin)
+        engine.warm(["APC"], backend="thread")
+        report = engine.warm(
+            ["APC", "APCPA"], workers=2, backend="process"
+        )
+        assert set(report.paths) == {"APC", "APCPA"}
+        assert engine.adoption_count == 1
+
+
+class TestLimitsAcrossProcesses:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_zero_deadline_trips(self, hin, workers):
+        server = QueryServer(HeteSimEngine(hin))
+        with pytest.raises(DeadlineExceededError):
+            server.run(
+                BatchRequest(
+                    [Query("A0", "APC"), Query("A0", "APCPA")],
+                    workers=workers,
+                    backend="process",
+                ),
+                limits=ExecutionLimits(deadline_ms=0),
+            )
+
+    def test_ambient_scope_reaches_worker_processes(self, hin):
+        engine = HeteSimEngine(hin)
+        limits = ExecutionLimits(deadline_ms=0)
+        with execution_scope(tracker=limits.tracker()):
+            with pytest.raises(DeadlineExceededError):
+                engine.warm(
+                    ["APCPA"], workers=2, backend="process"
+                )
+
+    def test_byte_budget_trips_with_same_provenance(self, hin):
+        def trip(backend):
+            server = QueryServer(HeteSimEngine(hin))
+            with pytest.raises(BudgetExceededError) as info:
+                server.run(
+                    BatchRequest(
+                        [Query("A0", "APCPA")],
+                        workers=2,
+                        backend=backend,
+                    ),
+                    limits=ExecutionLimits(max_nnz=1),
+                )
+            return (
+                info.value.limit,
+                info.value.observed,
+                info.value.allowed,
+            )
+
+        assert trip("process") == trip("thread")
+
+    def test_parent_tracker_absorbs_worker_charges(self, hin):
+        engine = HeteSimEngine(hin)
+        limits = ExecutionLimits(max_nnz=10**9)
+        tracker = limits.tracker()
+        with execution_scope(tracker=tracker):
+            engine.warm(["APCPA"], workers=2, backend="process")
+        assert tracker.nnz_charged > 0
+        assert tracker.steps_executed > 0
+
+    def test_generous_limits_pass(self, hin):
+        result = QueryServer(HeteSimEngine(hin)).run(
+            BatchRequest(
+                [Query("A0", "APC", k=3)],
+                workers=2,
+                backend="process",
+            ),
+            limits=ExecutionLimits(deadline_ms=60_000),
+        )
+        assert len(result.results) == 1
+
+
+class TestFaultsAcrossProcesses:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_injected_fault_trips_identically(self, hin, backend):
+        plan = FaultPlan([FaultSpec(SITE_EXECUTOR_STEP, 0, "fail")])
+        server = QueryServer(HeteSimEngine(hin))
+        with execution_scope(faults=plan):
+            with pytest.raises(InjectedFaultError):
+                server.run(
+                    BatchRequest(
+                        [
+                            Query(s, "APCPA")
+                            for s in ("A0", "A1", "A2")
+                        ],
+                        workers=4,
+                        backend=backend,
+                    )
+                )
+        assert plan.fired == [(SITE_EXECUTOR_STEP, 0, "fail")]
+
+    def test_fault_free_plan_counts_worker_steps(self, hin):
+        """Site occurrence counts advance across the process boundary
+        exactly as they do in-process."""
+        queries = [Query("A0", "APC"), Query("A0", "APCPA")]
+        in_process = FaultPlan()
+        with execution_scope(faults=in_process):
+            _run(hin, queries, workers=1, backend="thread")
+        cross_process = FaultPlan()
+        with execution_scope(faults=cross_process):
+            _run(hin, queries, workers=4, backend="process")
+        assert cross_process.occurrences(
+            SITE_EXECUTOR_STEP
+        ) == in_process.occurrences(SITE_EXECUTOR_STEP)
+
+
+class TestObservabilityMerge:
+    def test_worker_registry_merges_into_parent(self, hin):
+        from repro.obs.metrics import REGISTRY
+
+        engine = HeteSimEngine(hin)
+        engine.warm(["APCPA"], workers=2, backend="process")
+        family = REGISTRY.get("repro_halves_materialisations_total")
+        labelled = {
+            child.labels: child.value for child in family.children()
+        }
+        assert labelled.get((("engine", "worker"),), 0) >= 1
+
+    def test_adoptions_counted_separately(self, hin):
+        engine = HeteSimEngine(hin)
+        engine.warm(["APC", "APCPA"], workers=2, backend="process")
+        assert engine.adoption_count == 2
+        assert engine.materialisation_count == 0
+
+
+class TestErrorPickling:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            DeadlineExceededError(12.5, 10.0),
+            BudgetExceededError("max_nnz", 100, 10),
+            InjectedFaultError("executor.step", 3, "detail"),
+            InjectedFaultError("store.read", 0),
+        ],
+    )
+    def test_round_trip_preserves_type_and_fields(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        assert clone.__dict__ == error.__dict__
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self, hin):
+        nnz = graph_work_nnz(hin)
+        for explicit in ("thread", "process"):
+            assert (
+                resolve_backend(explicit, 1, 1, nnz) == explicit
+            )
+
+    def test_unknown_backend_rejected(self):
+        from repro.hin.errors import QueryError
+
+        with pytest.raises(QueryError):
+            resolve_backend("greenlet", 2, 2, 10**6)
+
+    def test_auto_needs_workers_items_and_cpus(self, monkeypatch):
+        import repro.serve.procs as procs
+
+        monkeypatch.setattr(procs, "usable_cpus", lambda: 8)
+        big = PROCESS_MIN_EDGES * 2
+        assert resolve_backend("auto", 4, 4, big) == "process"
+        assert resolve_backend("auto", 1, 4, big) == "thread"
+        assert resolve_backend("auto", 4, 1, big) == "thread"
+        assert (
+            resolve_backend("auto", 4, 4, big, prefer_thread=True)
+            == "thread"
+        )
+        assert (
+            resolve_backend("auto", 4, 4, PROCESS_MIN_EDGES - 1)
+            == "thread"
+        )
+        monkeypatch.setattr(procs, "usable_cpus", lambda: 1)
+        assert resolve_backend("auto", 4, 4, big) == "thread"
+
+    def test_usable_cpus_positive(self):
+        assert usable_cpus() >= 1
+
+
+class TestDispatcherMechanics:
+    def test_partition_contiguous_and_complete(self):
+        rows = list(range(10))
+        shards = _partition(rows, 4)
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+        assert [r for shard in shards for r in shard] == rows
+        assert _partition(rows, 20) == [[r] for r in rows]
+        assert _partition([], 4) == [[]]
+
+    def test_spawn_start_method_works(self, hin):
+        """The graph pickles (lock dropped and rebuilt) so the tier
+        also works where fork is unavailable."""
+        with ProcessDispatcher(
+            hin, workers=1, start_method="spawn"
+        ) as pool:
+            assert pool.start_method == "spawn"
+            from repro.serve.procs import _unlink_manifest
+
+            engine = HeteSimEngine(hin)
+            manifests = pool.map(
+                [("warm", "APC")], cleanup=_unlink_manifest
+            )
+            from repro.serve.procs import _adopt_manifest
+
+            _adopt_manifest(
+                engine, engine.path("APC"), manifests[0]
+            )
+            assert engine.has_halves(engine.path("APC"))
+
+    def test_rejects_zero_workers(self, hin):
+        from repro.hin.errors import QueryError
+
+        with pytest.raises(QueryError):
+            ProcessDispatcher(hin, workers=0)
