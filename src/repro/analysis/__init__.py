@@ -18,6 +18,18 @@ makes those invariants machine-checked on every push:
 * :mod:`repro.analysis.pairs` -- RPR007 paired-state atomicity:
   unlocked same-key accesses to two separate ``_``-prefixed dicts
   (the stale-halves TOCTOU shape fixed in PR 5).
+* :mod:`repro.analysis.cfg` / :mod:`~repro.analysis.dataflow` -- the
+  semantic substrate: per-function control-flow graphs (exception
+  edges, ``finally`` routing) and a generic forward/backward dataflow
+  framework (reaching definitions, all-paths must-analysis).
+* :mod:`repro.analysis.lifetime` -- RPR010 resource lifetime and
+  RPR011 contextvar-token hygiene, path-sensitive over the CFG.
+* :mod:`repro.analysis.project` -- the whole-project view: module
+  naming, the resolved import graph, class/function indexes, and
+  conservative call-graph reachability.
+* :mod:`repro.analysis.consistency` -- the project rule pack (RPR012
+  metrics-catalogue consistency, RPR013 import layering, RPR014
+  picklable worker errors).
 * :mod:`repro.analysis.runner` / :mod:`~repro.analysis.report` -- the
   driver and the text/JSON emitters behind ``hetesim lint``.
 * :mod:`repro.analysis.baseline` -- the justification-required
@@ -31,7 +43,19 @@ any environment that can run the tests.  Usage::
     hetesim lint --write-baseline     # grandfather the current tree
 """
 
-from .baseline import Baseline, Suppression, load_baseline, write_baseline
+from .baseline import (
+    Baseline,
+    PLACEHOLDER_REASON,
+    Suppression,
+    load_baseline,
+    write_baseline,
+)
+from .cfg import CFG, build_cfg
+from .consistency import (
+    ImportLayeringRule,
+    MetricsCatalogueRule,
+    PicklableWorkerErrorRule,
+)
 from .core import (
     Finding,
     BaseRule,
@@ -41,8 +65,11 @@ from .core import (
     register,
     registered_rules,
 )
+from .dataflow import all_paths_hit, reaching_definitions
+from .lifetime import ContextTokenRule, ResourceLifetimeRule
 from .lockgraph import LockDisciplineRule
 from .pairs import PairedStateRule
+from .project import ProjectContext
 from .report import render_json, render_text
 from .rules import (
     ContextPropagationRule,
@@ -58,23 +85,34 @@ from .runner import LintResult, iter_python_files, run_lint
 __all__ = [
     "Baseline",
     "BaseRule",
+    "CFG",
     "ContextPropagationRule",
+    "ContextTokenRule",
     "DensifyRule",
     "Finding",
     "FloatEqualityRule",
+    "ImportLayeringRule",
     "LintResult",
     "LockDisciplineRule",
     "MaterialiseImportRule",
+    "MetricsCatalogueRule",
     "NondeterminismRule",
+    "PLACEHOLDER_REASON",
     "PairedStateRule",
+    "PicklableWorkerErrorRule",
+    "ProjectContext",
+    "ResourceLifetimeRule",
     "Rule",
     "SharedMemoryLeaseRule",
     "SourceFile",
     "Suppression",
     "TypedErrorRule",
+    "all_paths_hit",
+    "build_cfg",
     "default_rules",
     "iter_python_files",
     "load_baseline",
+    "reaching_definitions",
     "register",
     "registered_rules",
     "render_json",

@@ -33,6 +33,7 @@ from .core import Finding
 __all__ = [
     "Suppression",
     "Baseline",
+    "PLACEHOLDER_REASON",
     "load_baseline",
     "write_baseline",
 ]
@@ -177,14 +178,27 @@ def _validate_entry(
     )
 
 
+#: Prefix of the generated reason; the self-audit rejects committed ones.
+PLACEHOLDER_REASON = (
+    "unreviewed: generated by --write-baseline; "
+    "replace with a real justification"
+)
+
+
 def write_baseline(
-    findings: Iterable[Finding], path: Union[str, Path]
+    findings: Iterable[Finding],
+    path: Union[str, Path],
+    previous: Optional[Baseline] = None,
 ) -> int:
     """Write a line-pinned baseline covering ``findings``; returns count.
 
     Generated entries carry a placeholder reason that passes validation
     but reads as unreviewed -- replace each with a real justification
-    (that is the point of the file).
+    (that is the point of the file).  When ``previous`` is given (the
+    baseline being regenerated), a finding that an existing entry
+    already covers inherits that entry's human-written reason instead
+    of being reset to the placeholder, so re-running
+    ``--write-baseline`` never destroys reviewed justifications.
     """
     ordered = sorted(set(findings))
     lines: List[str] = [
@@ -194,17 +208,33 @@ def write_baseline(
         "justification.",
     ]
     for finding in ordered:
+        reason = PLACEHOLDER_REASON
+        if previous is not None:
+            for entry in previous.suppressions:
+                if entry.covers(finding) and not entry.reason.startswith(
+                    "unreviewed:"
+                ):
+                    reason = entry.reason
+                    break
         lines.append("")
         lines.append("[[suppression]]")
-        lines.append(f'rule = "{finding.rule}"')
-        lines.append(f'path = "{finding.path}"')
+        lines.append(f"rule = {_toml_string(finding.rule)}")
+        lines.append(f"path = {_toml_string(finding.path)}")
         lines.append(f"line = {finding.line}")
-        lines.append(
-            'reason = "unreviewed: generated by --write-baseline; '
-            'replace with a real justification"'
-        )
+        lines.append(f"reason = {_toml_string(reason)}")
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
     return len(ordered)
+
+
+def _toml_string(value: str) -> str:
+    """A double-quoted TOML basic string (escapes round-trip the loader)."""
+    escaped = (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return f'"{escaped}"'
 
 
 # ----------------------------------------------------------------------

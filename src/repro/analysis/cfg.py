@@ -1,0 +1,456 @@
+"""Intra-function control-flow graphs built from the AST.
+
+The semantic layer under the path-sensitive rules (RPR010/RPR011): a
+:class:`CFG` has one node per statement (compound statements get a node
+for their *header* -- the test of an ``if``, the iterable of a ``for``)
+plus three synthetic nodes:
+
+* ``entry`` -- where execution starts,
+* ``exit`` -- normal completion (falling off the end, ``return``),
+* ``raise_exit`` -- completion by an escaping exception.
+
+Edges carry a *kind*: :data:`EDGE_NORMAL` for ordinary control transfer
+and :data:`EDGE_EXCEPTION` for transfers taken only when the source
+statement raises.  The distinction matters to the lifetime rules: the
+exception edge out of an *acquisition* call means the constructor
+itself failed, i.e. nothing was acquired, so leak analysis must start
+from the acquisition's **normal** successors only.
+
+Modelling decisions (all conservative -- they may add phantom paths,
+never remove real ones):
+
+* ``finally`` blocks are built **once** and shared by every
+  continuation (normal fallthrough, exception propagation, ``return``
+  / ``break`` / ``continue`` unwinding).  The single instance merges
+  continuations at the ``FinallyExit`` node, which creates phantom
+  paths (e.g. an exceptional entry leaving through the normal
+  continuation); a must-pass analysis only gets *more* demanding under
+  extra paths, so soundness is preserved.
+* ``with`` is ``try``/``finally``-like: a synthetic ``WithExit`` node
+  models the guaranteed ``__exit__`` call, and the body's exceptional
+  and jump continuations all route through it.
+* A statement "may raise" when its header expressions contain a
+  ``Call`` / ``Await`` / ``Yield`` / ``YieldFrom`` (a ``yield`` is a
+  resumption point where ``throw()`` can inject), plus ``raise`` and
+  ``assert`` which raise by construction.  Attribute access and
+  arithmetic are deliberately ignored -- the rules target resource
+  lifetimes around calls, and treating every expression as raising
+  would drown the graph in edges.
+* An ``except`` clause whose type is bare, ``Exception`` or
+  ``BaseException`` is treated as catching everything; otherwise the
+  exception also propagates outward (handler match is not decided
+  statically).
+
+Node labels are deterministic (``ClassName@line``, disambiguated with
+``#n`` on collision), so tests can assert hand-drawn edge sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "EDGE_NORMAL",
+    "EDGE_EXCEPTION",
+    "Node",
+    "CFG",
+    "build_cfg",
+    "statement_expressions",
+    "may_raise",
+]
+
+#: Edge taken on ordinary control transfer.
+EDGE_NORMAL = "normal"
+#: Edge taken only when the source statement raises.
+EDGE_EXCEPTION = "exception"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Exception types treated as catch-all in ``except`` clauses.
+_CATCH_ALL_TYPES = {"Exception", "BaseException"}
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement header or a synthetic control point."""
+
+    index: int
+    label: str
+    stmt: Optional[ast.AST]
+    line: int
+
+
+class CFG:
+    """A control-flow graph over one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self._normal: Dict[int, Set[int]] = {}
+        self._exceptional: Dict[int, Set[int]] = {}
+        self._label_counts: Dict[str, int] = {}
+        self._by_stmt: Dict[int, Node] = {}
+        self.entry = self._add_node("entry", None, 0)
+        self.exit = self._add_node("exit", None, 0)
+        self.raise_exit = self._add_node("raise_exit", None, 0)
+
+    # -- construction --------------------------------------------------
+    def _add_node(self, base: str, stmt: Optional[ast.AST], line: int) -> Node:
+        count = self._label_counts.get(base, 0)
+        self._label_counts[base] = count + 1
+        label = base if count == 0 else f"{base}#{count}"
+        node = Node(index=len(self.nodes), label=label, stmt=stmt, line=line)
+        self.nodes.append(node)
+        self._normal[node.index] = set()
+        self._exceptional[node.index] = set()
+        if stmt is not None:
+            self._by_stmt[id(stmt)] = node
+        return node
+
+    def add_statement(self, stmt: ast.AST) -> Node:
+        """A node for one statement (or ``except`` clause) header."""
+        line = int(getattr(stmt, "lineno", 0))
+        return self._add_node(f"{type(stmt).__name__}@{line}", stmt, line)
+
+    def add_synthetic(self, base: str, line: int) -> Node:
+        """A synthetic control point (``Finally@n``, ``WithExit@n``)."""
+        return self._add_node(f"{base}@{line}", None, line)
+
+    def add_edge(self, src: Node, dst: Node, kind: str = EDGE_NORMAL) -> None:
+        """Add one edge; parallel duplicates collapse."""
+        table = self._normal if kind == EDGE_NORMAL else self._exceptional
+        table[src.index].add(dst.index)
+
+    # -- queries -------------------------------------------------------
+    def successors(self, node: Node, kind: Optional[str] = None) -> List[Node]:
+        """Successor nodes, optionally restricted to one edge kind."""
+        indices: Set[int] = set()
+        if kind in (None, EDGE_NORMAL):
+            indices |= self._normal[node.index]
+        if kind in (None, EDGE_EXCEPTION):
+            indices |= self._exceptional[node.index]
+        return [self.nodes[i] for i in sorted(indices)]
+
+    def node_for(self, stmt: ast.AST) -> Optional[Node]:
+        """The node whose header is ``stmt``, if one exists."""
+        return self._by_stmt.get(id(stmt))
+
+    def edges(self) -> Set[Tuple[str, str, str]]:
+        """``(src_label, dst_label, kind)`` triples -- the test surface."""
+        out: Set[Tuple[str, str, str]] = set()
+        for table, kind in (
+            (self._normal, EDGE_NORMAL),
+            (self._exceptional, EDGE_EXCEPTION),
+        ):
+            for src, dsts in table.items():
+                for dst in dsts:
+                    out.add((self.nodes[src].label, self.nodes[dst].label, kind))
+        return out
+
+
+# ----------------------------------------------------------------------
+# statement headers and may-raise
+# ----------------------------------------------------------------------
+def statement_expressions(stmt: ast.AST) -> List[ast.AST]:
+    """The expressions *owned* by a statement's CFG node.
+
+    For compound statements this is the header only (the body's
+    statements have their own nodes); for simple statements it is the
+    whole statement.  Rules use this to decide which node contains a
+    given call.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        exprs: List[ast.AST] = [stmt.subject]
+        exprs.extend(case.guard for case in stmt.cases if case.guard is not None)
+        return exprs
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return list(stmt.decorator_list)
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def may_raise(stmt: ast.AST) -> bool:
+    """Whether a statement's header can raise (documented approximation).
+
+    ``raise`` and ``assert`` raise by construction; otherwise the header
+    must contain a call or a yield/await resumption point.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for expr in statement_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Call, ast.Await, ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# builder
+# ----------------------------------------------------------------------
+@dataclass
+class _FinallyFrame:
+    """One active ``finally`` (or ``with``-exit) continuation point."""
+
+    entry: Node
+    exit: Node
+
+
+@dataclass
+class _HandlerFrame:
+    """The handlers of one ``try`` while its body is being built."""
+
+    entries: List[Node]
+    catch_all: bool
+
+
+_ProtectionFrame = Union[_FinallyFrame, _HandlerFrame]
+
+
+@dataclass
+class _LoopFrame:
+    """One active loop: where ``continue`` and ``break`` go."""
+
+    header: Node
+    protection_depth: int
+    break_sources: List[Node] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._protection: List[_ProtectionFrame] = []
+        self._loops: List[_LoopFrame] = []
+
+    # -- routing -------------------------------------------------------
+    def _route_exception(self, source: Node) -> None:
+        """Wire ``source``'s exceptional continuation through the stack."""
+        current = source
+        for frame in reversed(self._protection):
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(current, frame.entry, EDGE_EXCEPTION)
+                current = frame.exit
+            else:
+                for handler_entry in frame.entries:
+                    self.cfg.add_edge(current, handler_entry, EDGE_EXCEPTION)
+                if frame.catch_all:
+                    return
+        self.cfg.add_edge(current, self.cfg.raise_exit, EDGE_EXCEPTION)
+
+    def _route_jump(
+        self, source: Node, target: Optional[Node], down_to: int = 0
+    ) -> Node:
+        """Wire a ``return``/``break``/``continue`` through active finallies.
+
+        Unwinds every :class:`_FinallyFrame` pushed at depth >=
+        ``down_to`` (innermost first), then connects to ``target`` when
+        given.  Returns the final source node (the last finally exit, or
+        ``source`` itself) so deferred targets (``break``) can be wired
+        once the loop's continuation is known.
+        """
+        current = source
+        for depth in range(len(self._protection) - 1, down_to - 1, -1):
+            frame = self._protection[depth]
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(current, frame.entry, EDGE_NORMAL)
+                current = frame.exit
+        if target is not None:
+            self.cfg.add_edge(current, target, EDGE_NORMAL)
+        return current
+
+    # -- statement lists ----------------------------------------------
+    def build_stmts(
+        self, stmts: Sequence[ast.stmt], frontier: List[Node]
+    ) -> List[Node]:
+        for stmt in stmts:
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def _connect(self, frontier: List[Node], node: Node) -> None:
+        for pred in frontier:
+            self.cfg.add_edge(pred, node, EDGE_NORMAL)
+
+    # -- one statement -------------------------------------------------
+    def build_stmt(self, stmt: ast.stmt, frontier: List[Node]) -> List[Node]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg.add_statement(stmt)
+            self._connect(frontier, node)
+            if may_raise(stmt):
+                self._route_exception(node)
+            self._route_jump(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg.add_statement(stmt)
+            self._connect(frontier, node)
+            self._route_exception(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg.add_statement(stmt)
+            self._connect(frontier, node)
+            loop = self._loops[-1]
+            source = self._route_jump(node, None, down_to=loop.protection_depth)
+            loop.break_sources.append(source)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg.add_statement(stmt)
+            self._connect(frontier, node)
+            loop = self._loops[-1]
+            self._route_jump(node, loop.header, down_to=loop.protection_depth)
+            return []
+        # Simple statements (including nested def/class, whose bodies are
+        # *not* part of this function's flow).
+        node = self.cfg.add_statement(stmt)
+        self._connect(frontier, node)
+        if may_raise(stmt):
+            self._route_exception(node)
+        return [node]
+
+    def _build_if(self, stmt: ast.If, frontier: List[Node]) -> List[Node]:
+        node = self.cfg.add_statement(stmt)
+        self._connect(frontier, node)
+        if may_raise(stmt):
+            self._route_exception(node)
+        then_frontier = self.build_stmts(stmt.body, [node])
+        if stmt.orelse:
+            else_frontier = self.build_stmts(stmt.orelse, [node])
+        else:
+            else_frontier = [node]
+        return then_frontier + else_frontier
+
+    def _build_loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        frontier: List[Node],
+    ) -> List[Node]:
+        header = self.cfg.add_statement(stmt)
+        self._connect(frontier, header)
+        if may_raise(stmt):
+            self._route_exception(header)
+        loop = _LoopFrame(header=header, protection_depth=len(self._protection))
+        self._loops.append(loop)
+        body_frontier = self.build_stmts(stmt.body, [header])
+        for node in body_frontier:
+            self.cfg.add_edge(node, header, EDGE_NORMAL)
+        self._loops.pop()
+        # Condition-false / iterator-exhausted continuation: the else
+        # clause when present, the fallthrough otherwise.  break jumps
+        # past the else clause.
+        if stmt.orelse:
+            out = self.build_stmts(stmt.orelse, [header])
+        else:
+            out = [header]
+        return out + loop.break_sources
+
+    def _build_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], frontier: List[Node]
+    ) -> List[Node]:
+        node = self.cfg.add_statement(stmt)
+        self._connect(frontier, node)
+        if may_raise(stmt):
+            # The context-manager construction itself failing: __exit__
+            # does not run for managers never entered.
+            self._route_exception(node)
+        exit_node = self.cfg.add_synthetic("WithExit", int(stmt.lineno))
+        frame = _FinallyFrame(entry=exit_node, exit=exit_node)
+        self._protection.append(frame)
+        body_frontier = self.build_stmts(stmt.body, [node])
+        self._protection.pop()
+        for pred in body_frontier:
+            self.cfg.add_edge(pred, exit_node, EDGE_NORMAL)
+        return [exit_node]
+
+    def _build_match(self, stmt: ast.Match, frontier: List[Node]) -> List[Node]:
+        node = self.cfg.add_statement(stmt)
+        self._connect(frontier, node)
+        if may_raise(stmt):
+            self._route_exception(node)
+        out: List[Node] = [node]  # no case matched
+        for case in stmt.cases:
+            out.extend(self.build_stmts(case.body, [node]))
+        return out
+
+    def _build_try(self, stmt: ast.Try, frontier: List[Node]) -> List[Node]:
+        finally_frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            line = int(stmt.finalbody[0].lineno)
+            entry = self.cfg.add_synthetic("Finally", line)
+            # The finalbody is built in the *enclosing* protection
+            # context: exceptions it raises propagate outward, past this
+            # try's own handlers.
+            body_out = self.build_stmts(stmt.finalbody, [entry])
+            exit_node = self.cfg.add_synthetic("FinallyExit", line)
+            for pred in body_out:
+                self.cfg.add_edge(pred, exit_node, EDGE_NORMAL)
+            finally_frame = _FinallyFrame(entry=entry, exit=exit_node)
+            self._protection.append(finally_frame)
+
+        handler_nodes: List[Node] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            handler_nodes.append(self.cfg.add_statement(handler))
+            catch_all = catch_all or _is_catch_all(handler)
+        handler_frame: Optional[_HandlerFrame] = None
+        if handler_nodes:
+            handler_frame = _HandlerFrame(
+                entries=handler_nodes, catch_all=catch_all
+            )
+            self._protection.append(handler_frame)
+
+        body_frontier = self.build_stmts(stmt.body, frontier)
+
+        if handler_frame is not None:
+            self._protection.pop()  # handler bodies re-raise outward
+
+        if stmt.orelse:
+            after_sources = self.build_stmts(stmt.orelse, body_frontier)
+        else:
+            after_sources = body_frontier
+        for handler, handler_node in zip(stmt.handlers, handler_nodes):
+            after_sources = after_sources + self.build_stmts(
+                handler.body, [handler_node]
+            )
+
+        if finally_frame is not None:
+            self._protection.pop()
+            for pred in after_sources:
+                self.cfg.add_edge(pred, finally_frame.entry, EDGE_NORMAL)
+            return [finally_frame.exit]
+        return after_sources
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in _CATCH_ALL_TYPES
+    if isinstance(handler.type, ast.Attribute):
+        return handler.type.attr in _CATCH_ALL_TYPES
+    return False
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """The control-flow graph of one function definition's body."""
+    builder = _Builder()
+    frontier = builder.build_stmts(func.body, [builder.cfg.entry])
+    for node in frontier:
+        builder.cfg.add_edge(node, builder.cfg.exit, EDGE_NORMAL)
+    return builder.cfg

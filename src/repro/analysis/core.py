@@ -26,7 +26,19 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Protocol, Type, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Type,
+    TypeVar,
+)
+
+if TYPE_CHECKING:
+    from .project import ProjectContext
 
 __all__ = [
     "SEVERITY_ERROR",
@@ -122,8 +134,10 @@ class Rule(Protocol):
     ``rule_id`` is the stable identifier findings and baselines carry
     (``"RPR001"``); ``summary`` is the one-line description the docs
     and ``--format json`` expose.  :meth:`check` runs once per file;
-    :meth:`finalize` runs once after every file has been checked, for
-    rules that accumulate whole-project state.
+    :meth:`check_project` runs once after parsing with the
+    cross-module :class:`~repro.analysis.project.ProjectContext`;
+    :meth:`finalize` runs last, for rules that accumulated state
+    during the per-file pass.
     """
 
     rule_id: str
@@ -131,6 +145,10 @@ class Rule(Protocol):
 
     def check(self, file: SourceFile) -> List[Finding]:
         """Findings for one parsed file."""
+        ...
+
+    def check_project(self, project: "ProjectContext") -> List[Finding]:
+        """Findings over the whole parsed set (empty for local rules)."""
         ...
 
     def finalize(self) -> List[Finding]:
@@ -146,6 +164,10 @@ class BaseRule:
 
     def check(self, file: SourceFile) -> List[Finding]:
         """Findings for one parsed file (default: none)."""
+        return []
+
+    def check_project(self, project: "ProjectContext") -> List[Finding]:
+        """Project-pass findings (default: none -- local rule)."""
         return []
 
     def finalize(self) -> List[Finding]:
@@ -199,7 +221,7 @@ def default_rules() -> List[BaseRule]:
 
 def _load_builtin_rules() -> None:
     """Import the built-in rule modules so their ``@register`` calls ran."""
-    from . import lockgraph, pairs, rules  # noqa: F401  (side effect)
+    from . import consistency, lifetime, lockgraph, pairs, rules  # noqa: F401
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,265 @@
+"""A small forward/backward dataflow framework over :mod:`~repro.analysis.cfg`.
+
+Two clients ship with it:
+
+* :func:`reaching_definitions` -- the classic forward may-analysis
+  (which assignments can reach each node), used where a rule needs to
+  know whether a bound resource was rebound before a release.
+* :func:`all_paths_hit` -- the backward **must**-analysis behind the
+  lifetime rules: for every node, whether *every* path from it to
+  ``exit`` or ``raise_exit`` passes through a node satisfying a
+  predicate.  AND-join, greatest fixpoint from ``True``, exits pinned
+  to ``False`` -- so "released on all paths" is exactly
+  ``all(all_paths_hit[s] for s in normal_successors(acquisition))``.
+
+The generic :func:`solve` takes any :class:`Analysis`; transfers must
+be monotone over a finite lattice (every shipped client uses finite
+sets or booleans), which guarantees termination of the round-robin
+iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from .cfg import CFG, Node, statement_expressions
+
+__all__ = [
+    "FORWARD",
+    "BACKWARD",
+    "Analysis",
+    "solve",
+    "ReachingDefinitions",
+    "reaching_definitions",
+    "all_paths_hit",
+    "node_contains_call",
+]
+
+#: Direction marker: values flow from predecessors to successors.
+FORWARD = "forward"
+#: Direction marker: values flow from successors to predecessors.
+BACKWARD = "backward"
+
+T = TypeVar("T")
+
+
+class Analysis(Generic[T]):
+    """One dataflow problem: direction, lattice operations, transfer."""
+
+    direction: str = FORWARD
+
+    def boundary(self) -> T:
+        """Value at the boundary (entry for forward, exits for backward)."""
+        raise NotImplementedError
+
+    def initial(self) -> T:
+        """Optimistic initial value for every non-boundary node."""
+        raise NotImplementedError
+
+    def join(self, values: Sequence[T]) -> T:
+        """Combine the values flowing in along multiple edges."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, value: T) -> T:
+        """The effect of executing ``node`` on an incoming value."""
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: Analysis[T]) -> Dict[int, Tuple[T, T]]:
+    """Fixpoint of ``analysis`` over ``cfg``.
+
+    Returns ``{node_index: (in_value, out_value)}`` where *in* is the
+    value flowing into the node and *out* the value after its transfer
+    (for backward problems, *in* flows from the successors and *out* is
+    what predecessors observe).  All edges -- normal and exceptional --
+    participate: the analyses care about paths, not about why a path
+    was taken.
+    """
+    forward = analysis.direction == FORWARD
+    predecessors: Dict[int, List[Node]] = {node.index: [] for node in cfg.nodes}
+    for node in cfg.nodes:
+        for succ in cfg.successors(node):
+            predecessors[succ.index].append(node)
+
+    if forward:
+        boundary_nodes = {cfg.entry.index}
+        sources = predecessors
+    else:
+        boundary_nodes = {cfg.exit.index, cfg.raise_exit.index}
+        sources = {
+            node.index: cfg.successors(node) for node in cfg.nodes
+        }
+
+    in_value: Dict[int, T] = {}
+    out_value: Dict[int, T] = {}
+    for node in cfg.nodes:
+        start = (
+            analysis.boundary()
+            if node.index in boundary_nodes
+            else analysis.initial()
+        )
+        in_value[node.index] = start
+        out_value[node.index] = analysis.transfer(node, start)
+
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.index in boundary_nodes:
+                incoming = analysis.boundary()
+            else:
+                feeds = sources[node.index]
+                if feeds:
+                    incoming = analysis.join(
+                        [out_value[src.index] for src in feeds]
+                    )
+                else:
+                    incoming = analysis.initial()
+            outgoing = analysis.transfer(node, incoming)
+            if (
+                incoming != in_value[node.index]
+                or outgoing != out_value[node.index]
+            ):
+                in_value[node.index] = incoming
+                out_value[node.index] = outgoing
+                changed = True
+    return {
+        index: (in_value[index], out_value[index]) for index in in_value
+    }
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+Definition = Tuple[str, int]  # (name, defining node index)
+
+
+class ReachingDefinitions(Analysis[FrozenSet[Definition]]):
+    """Which ``(name, node)`` assignments may reach each node (forward)."""
+
+    direction = FORWARD
+
+    def boundary(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def initial(self) -> FrozenSet[Definition]:
+        return frozenset()
+
+    def join(
+        self, values: Sequence[FrozenSet[Definition]]
+    ) -> FrozenSet[Definition]:
+        merged: FrozenSet[Definition] = frozenset()
+        for value in values:
+            merged |= value
+        return merged
+
+    def transfer(
+        self, node: Node, value: FrozenSet[Definition]
+    ) -> FrozenSet[Definition]:
+        defined = defined_names(node)
+        if not defined:
+            return value
+        survivors = frozenset(
+            entry for entry in value if entry[0] not in defined
+        )
+        return survivors | frozenset(
+            (name, node.index) for name in defined
+        )
+
+
+def defined_names(node: Node) -> FrozenSet[str]:
+    """Plain names (re)bound by a node's statement header."""
+    stmt = node.stmt
+    if stmt is None:
+        return frozenset()
+    names: List[str] = []
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets.extend(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets.append(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets.append(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets.extend(
+            item.optional_vars
+            for item in stmt.items
+            if item.optional_vars is not None
+        )
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    elif isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        names.append(stmt.name)
+    for target in targets:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+    return frozenset(names)
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, FrozenSet[Definition]]:
+    """The *incoming* reaching-definition set per node index."""
+    solved = solve(cfg, ReachingDefinitions())
+    return {index: pair[0] for index, pair in solved.items()}
+
+
+# ----------------------------------------------------------------------
+# must-pass ("released on all paths")
+# ----------------------------------------------------------------------
+def all_paths_hit(
+    cfg: CFG, satisfies: Callable[[Node], bool]
+) -> Dict[int, bool]:
+    """Per node: does *every* path from it to an exit hit a satisfying node?
+
+    A node satisfying the predicate answers ``True`` outright (the hit
+    is inclusive).  ``exit`` / ``raise_exit`` -- and any dead-end node
+    -- answer ``False``: a path can end there without the event having
+    happened.  Everything else is the AND over all successors, computed
+    as a decreasing fixpoint from the optimistic ``True`` (loops whose
+    every escape passes the event therefore stay ``True``).
+    """
+    value: Dict[int, bool] = {node.index: True for node in cfg.nodes}
+    terminal = {cfg.exit.index, cfg.raise_exit.index}
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if satisfies(node):
+                new = True
+            else:
+                successors = cfg.successors(node)
+                if node.index in terminal or not successors:
+                    new = False
+                else:
+                    new = all(value[succ.index] for succ in successors)
+            if new != value[node.index]:
+                value[node.index] = new
+                changed = True
+    return value
+
+
+def node_contains_call(
+    node: Node, matches: Callable[[ast.Call], bool]
+) -> bool:
+    """Whether a node's owned expressions contain a matching call."""
+    stmt = node.stmt
+    if stmt is None:
+        return False
+    for expr in statement_expressions(stmt):
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call) and matches(sub):
+                return True
+    return False

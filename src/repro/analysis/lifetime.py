@@ -1,0 +1,393 @@
+"""Path-sensitive resource-lifetime rules (RPR010, RPR011).
+
+RPR009 checks shared-memory hygiene *lexically*: construction either
+adopted into a lease or cleaned up in some ``finally``.  What it cannot
+see is a release that exists but is skipped on one path -- an early
+``return`` between acquisition and release, an exception edge that
+bypasses the cleanup, a ``break`` out of the loop that owns the
+segment.  These rules redo the question on the
+:mod:`~repro.analysis.cfg` control-flow graph with the
+:func:`~repro.analysis.dataflow.all_paths_hit` must-analysis:
+
+* **RPR010** -- an acquisition (``ShmLease(...)``,
+  ``SharedMemory(...)`` bound to a name, or a bare ``obj.acquire()``
+  statement) must be released on **every** path from its normal
+  successors to ``exit`` / ``raise_exit``.  The acquisition's own
+  exception edge is excluded: the constructor failing means nothing
+  was acquired.
+* **RPR011** -- a ``ContextVar.set()`` token must be ``reset()`` on
+  every path (the ``token = VAR.set(...); try: ... finally:
+  VAR.reset(token)`` discipline of :mod:`repro.runtime.limits`);
+  discarding the token outright makes the context un-restorable and is
+  flagged immediately.
+
+Both rules *skip* resources whose handle escapes the function (returned,
+yielded, stored into a container or attribute, passed to another
+call): ownership moved, and a conservative leak report against the new
+owner's protocol would be noise.  Escape to a nested function also
+disqualifies -- a closure may release on another thread, invisible to
+this CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .cfg import CFG, EDGE_NORMAL, FunctionNode, Node, build_cfg
+from .core import BaseRule, Finding, SourceFile, dotted_name, register
+from .dataflow import all_paths_hit, node_contains_call
+
+__all__ = ["ResourceLifetimeRule", "ContextTokenRule"]
+
+#: Constructors treated as resource acquisitions (matched on last name).
+_ACQUISITION_TYPES = frozenset({"ShmLease", "SharedMemory"})
+
+#: Methods that end a named resource's lifetime.
+_RELEASE_METHODS = frozenset({"release", "close", "unlink", "handoff"})
+
+#: Expression parents under which a name use is *not* an escape.
+_NON_ESCAPE_PARENTS = (
+    ast.Attribute,  # receiver of a method call / attribute read
+    ast.Compare,  # `if segment is not None`
+    ast.BoolOp,
+    ast.UnaryOp,
+    ast.If,
+    ast.While,
+    ast.Assert,
+)
+
+
+def _functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _released_from(
+    cfg: CFG, acquisition: Node, hit: Dict[int, bool]
+) -> bool:
+    """All *normal* paths out of ``acquisition`` pass a satisfying node."""
+    successors = cfg.successors(acquisition, EDGE_NORMAL)
+    return all(hit[succ.index] for succ in successors)
+
+
+def _calls_method_on(
+    node: Node, receiver: str, methods: FrozenSet[str]
+) -> bool:
+    """Node contains ``<receiver>.<method>(...)`` for one of ``methods``."""
+
+    def matches(call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in methods
+            and dotted_name(call.func.value) == receiver
+        )
+
+    return node_contains_call(node, matches)
+
+
+def _escapes(
+    file: SourceFile, func: FunctionNode, name: str, binding: ast.stmt
+) -> bool:
+    """Whether ``name`` escapes ``func`` after being bound at ``binding``.
+
+    Any use other than a method-call receiver or a truthiness/identity
+    test counts: returned, yielded, aliased, stored in a container or
+    attribute, passed as a call argument, or referenced from a nested
+    function (where a release would be invisible to this CFG).
+    """
+    parents = file.parents()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Name) or node.id != name:
+            continue
+        if not isinstance(node.ctx, ast.Load):
+            continue
+        if file.enclosing_function(node) is not func:
+            return True
+        if _within(parents, node, binding):
+            continue  # the binding's own RHS cannot use the new name
+        parent = parents.get(node)
+        if parent is None or not isinstance(parent, _NON_ESCAPE_PARENTS):
+            return True
+    return False
+
+
+def _within(
+    parents: Dict[ast.AST, ast.AST], node: ast.AST, ancestor: ast.AST
+) -> bool:
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = parents.get(current)
+    return False
+
+
+@register
+class ResourceLifetimeRule(BaseRule):
+    """RPR010: acquisitions released on every CFG path.
+
+    A leaked :class:`~repro.core.shm.ShmLease` past process exit is a
+    named kernel object nobody will unlink; a lock acquired on a path
+    that can raise before ``release()`` deadlocks the next acquirer.
+    The with-statement form is guaranteed by construction and is the
+    recommended fix for every finding.
+    """
+
+    rule_id = "RPR010"
+    summary = (
+        "resource acquisition not released on every control-flow path "
+        "(use `with`, or release in `finally`)"
+    )
+
+    def __init__(self, library_prefix: str = "src/repro") -> None:
+        self.library_prefix = library_prefix
+
+    def check(self, file: SourceFile) -> List[Finding]:
+        """Flag acquisitions with a release-free path to an exit."""
+        if not file.rel.startswith(self.library_prefix):
+            return []
+        findings: List[Finding] = []
+        for func in _functions(file.tree):
+            findings.extend(self._check_function(file, func))
+        return findings
+
+    def _check_function(
+        self, file: SourceFile, func: FunctionNode
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        cfg: Optional[CFG] = None  # built on first acquisition only
+        for stmt in ast.walk(func):
+            if file.enclosing_function(stmt) is not func:
+                continue
+            target = self._acquisition_in(file, stmt)
+            if target is None:
+                continue
+            name, noun = target
+            if isinstance(stmt, ast.Assign) and _escapes(
+                file, func, name, stmt
+            ):
+                continue
+            if cfg is None:
+                cfg = build_cfg(func)
+            node = cfg.node_for(stmt)
+            if node is None:
+                continue
+            hit = all_paths_hit(
+                cfg,
+                lambda n, _name=name: _calls_method_on(
+                    n, _name, _RELEASE_METHODS
+                ),
+            )
+            if not _released_from(cfg, node, hit):
+                findings.append(
+                    self.finding(
+                        file,
+                        stmt,
+                        f"{noun} `{name}` has a path to function exit "
+                        "without release/close/handoff; use `with` or "
+                        "release in `finally`",
+                    )
+                )
+        return findings
+
+    def _acquisition_in(
+        self, file: SourceFile, stmt: ast.AST
+    ) -> Optional[Tuple[str, str]]:
+        """``(resource_name, noun)`` when ``stmt`` acquires, else None."""
+        # `name = ShmLease(...)` / `name = shared_memory.SharedMemory(...)`
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            ctor = dotted_name(stmt.value.func)
+            if ctor is not None:
+                leaf = ctor.rsplit(".", 1)[-1]
+                if leaf in _ACQUISITION_TYPES:
+                    return (stmt.targets[0].id, leaf)
+        # bare `receiver.acquire()` statement
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "acquire"
+        ):
+            receiver = dotted_name(stmt.value.func.value)
+            if receiver is not None:
+                return (receiver, "acquired lock")
+        return None
+
+
+@register
+class ContextTokenRule(BaseRule):
+    """RPR011: ``ContextVar.set()`` tokens ``reset()`` on every path.
+
+    A token dropped on one path leaves the ambient context (limits,
+    fault plans, span parents) permanently replaced for the rest of the
+    thread's life -- exactly the class of bug ``adopt_context`` /
+    ``execution_scope`` exist to prevent.
+    """
+
+    rule_id = "RPR011"
+    summary = (
+        "ContextVar.set() token not reset() on every control-flow path"
+    )
+
+    def __init__(self, library_prefix: str = "src/repro") -> None:
+        self.library_prefix = library_prefix
+
+    def check(self, file: SourceFile) -> List[Finding]:
+        """Flag unreset or discarded ``ContextVar.set`` tokens."""
+        if not file.rel.startswith(self.library_prefix):
+            return []
+        declared = self._declared_vars(file.tree)
+        if not declared:
+            return []
+        findings: List[Finding] = []
+        for func in _functions(file.tree):
+            findings.extend(
+                self._check_function(file, func, declared)
+            )
+        return findings
+
+    def _declared_vars(self, tree: ast.Module) -> FrozenSet[str]:
+        """Module-level names bound to ``ContextVar(...)``."""
+        names: Set[str] = set()
+        for stmt in tree.body:
+            value: Optional[ast.expr] = None
+            target: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+            ):
+                ctor = dotted_name(value.func)
+                if ctor is not None and ctor.rsplit(".", 1)[-1] == "ContextVar":
+                    names.add(target.id)
+        return frozenset(names)
+
+    def _check_function(
+        self,
+        file: SourceFile,
+        func: FunctionNode,
+        declared: FrozenSet[str],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        cfg: Optional[CFG] = None
+        for stmt in ast.walk(func):
+            if file.enclosing_function(stmt) is not func:
+                continue
+            set_call = self._set_call_in(stmt, declared)
+            if set_call is None:
+                continue
+            var_name, token = set_call
+            if token is None:
+                findings.append(
+                    self.finding(
+                        file,
+                        stmt,
+                        f"`{var_name}.set(...)` token discarded; bind it "
+                        f"and `reset()` in `finally`",
+                    )
+                )
+                continue
+            if self._token_escapes(file, func, token, stmt):
+                continue
+            if cfg is None:
+                cfg = build_cfg(func)
+            node = cfg.node_for(stmt)
+            if node is None:
+                continue
+            hit = all_paths_hit(
+                cfg,
+                lambda n, _token=token: _resets_token(n, _token),
+            )
+            if not _released_from(cfg, node, hit):
+                findings.append(
+                    self.finding(
+                        file,
+                        stmt,
+                        f"token of `{var_name}.set(...)` has a path to "
+                        "function exit without `reset()`; reset in "
+                        "`finally`",
+                    )
+                )
+        return findings
+
+    def _set_call_in(
+        self, stmt: ast.AST, declared: FrozenSet[str]
+    ) -> Optional[Tuple[str, Optional[str]]]:
+        """``(var_name, token_name_or_None)`` for a ``VAR.set(...)`` stmt."""
+        call: Optional[ast.Call] = None
+        token: Optional[str] = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            call = stmt.value
+            token = stmt.targets[0].id
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+        if (
+            call is None
+            or not isinstance(call.func, ast.Attribute)
+            or call.func.attr != "set"
+        ):
+            return None
+        receiver = dotted_name(call.func.value)
+        if receiver is None or receiver.rsplit(".", 1)[-1] not in declared:
+            return None
+        return (receiver, token)
+
+    def _token_escapes(
+        self,
+        file: SourceFile,
+        func: FunctionNode,
+        token: str,
+        binding: ast.stmt,
+    ) -> bool:
+        """Token uses other than ``reset(token)`` move ownership."""
+        parents = file.parents()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Name) or node.id != token:
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if file.enclosing_function(node) is not func:
+                return True
+            if _within(parents, node, binding):
+                continue
+            parent = parents.get(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr == "reset"
+            ):
+                continue
+            if parent is None or not isinstance(
+                parent, _NON_ESCAPE_PARENTS
+            ):
+                return True
+        return False
+
+
+def _resets_token(node: Node, token: str) -> bool:
+    def matches(call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "reset"
+            and any(
+                isinstance(arg, ast.Name) and arg.id == token
+                for arg in call.args
+            )
+        )
+
+    return node_contains_call(node, matches)

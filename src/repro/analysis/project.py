@@ -1,0 +1,339 @@
+"""Cross-module project context for whole-project rules.
+
+The per-file pass hands every rule one :class:`~repro.analysis.core.
+SourceFile` at a time; the project pass hands them a single
+:class:`ProjectContext` built over *all* parsed files:
+
+* a **module map** -- dotted module names derived from paths
+  (``src/repro/hin/graph.py`` -> ``repro.hin.graph``; ``__init__.py``
+  names the package), so rules can reason about the import structure,
+* an **import graph** -- one :class:`ImportEdge` per ``import`` /
+  ``from ... import`` with relative levels resolved against the
+  importing module's package, tagged top-level vs lazy (inside a
+  function),
+* **class and function indexes** -- declarations by bare name, with
+  base-class names and ``__reduce__`` / ``__init__`` details recorded
+  for the picklability rule,
+* a conservative **call-graph closure** (:meth:`ProjectContext.
+  reachable_functions`) -- name-based, in the same spirit as
+  :mod:`~repro.analysis.lockgraph`'s intra-class fixpoint: a call site
+  ``f(...)`` / ``obj.f(...)`` reaches *every* project function named
+  ``f``.  Over-approximate by design; project rules must only use it
+  where extra reachability means extra scrutiny, never suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .core import SourceFile, dotted_name
+
+__all__ = [
+    "ImportEdge",
+    "ModuleInfo",
+    "ClassDecl",
+    "FunctionDecl",
+    "ProjectContext",
+    "module_name_for",
+]
+
+
+def module_name_for(rel: str) -> Optional[str]:
+    """Dotted module name for a lint-root-relative path, if derivable.
+
+    Leading ``src/`` components are stripped (the import root), and
+    ``__init__.py`` names its package.  Non-Python paths yield None.
+    """
+    if not rel.endswith(".py"):
+        return None
+    parts = list(Path(rel).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return None
+    last = parts[-1][: -len(".py")]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts[-1] = last
+    if not parts or any(not part.isidentifier() for part in parts):
+        return None
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to an absolute dotted target."""
+
+    target: str
+    line: int
+    top_level: bool
+    #: Names bound by a ``from target import a, b`` (empty for ``import``).
+    names: Tuple[str, ...] = ()
+    #: The local names the import binds (``asname`` when given).
+    bound: Tuple[str, ...] = ()
+
+
+@dataclass
+class ClassDecl:
+    """One class declaration: what the picklability rule needs."""
+
+    name: str
+    module: str
+    rel: str
+    line: int
+    bases: Tuple[str, ...]
+    has_reduce: bool
+    init: Optional[ast.FunctionDef]
+    node: ast.ClassDef
+
+
+@dataclass
+class FunctionDecl:
+    """One function/method declaration, indexed by bare name."""
+
+    name: str
+    module: str
+    rel: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its resolved imports."""
+
+    name: str
+    file: SourceFile
+    imports: List[ImportEdge] = field(default_factory=list)
+
+
+class ProjectContext:
+    """Everything the project-scoped rules see, built once per run."""
+
+    def __init__(self, files: Sequence[SourceFile], root: Path) -> None:
+        self.root = root
+        self.files: Tuple[SourceFile, ...] = tuple(files)
+        self.modules: Dict[str, ModuleInfo] = {}
+        for file in self.files:
+            name = module_name_for(file.rel)
+            if name is None:
+                continue
+            info = ModuleInfo(name=name, file=file)
+            info.imports = _collect_imports(file, name)
+            self.modules[name] = info
+        self._classes: Optional[Dict[str, List[ClassDecl]]] = None
+        self._functions: Optional[Dict[str, List[FunctionDecl]]] = None
+
+    # -- indexes (lazy; most runs only trigger a subset of rules) ------
+    @property
+    def classes(self) -> Dict[str, List[ClassDecl]]:
+        """Class declarations across the project, by bare class name."""
+        if self._classes is None:
+            index: Dict[str, List[ClassDecl]] = {}
+            for info in self.modules.values():
+                for node in ast.walk(info.file.tree):
+                    if not isinstance(node, ast.ClassDef):
+                        continue
+                    index.setdefault(node.name, []).append(
+                        _class_decl(node, info)
+                    )
+            self._classes = index
+        return self._classes
+
+    @property
+    def functions(self) -> Dict[str, List[FunctionDecl]]:
+        """Function/method declarations, by bare name."""
+        if self._functions is None:
+            index: Dict[str, List[FunctionDecl]] = {}
+            for info in self.modules.values():
+                for node in ast.walk(info.file.tree):
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        index.setdefault(node.name, []).append(
+                            FunctionDecl(
+                                name=node.name,
+                                module=info.name,
+                                rel=info.file.rel,
+                                node=node,
+                            )
+                        )
+            self._functions = index
+        return self._functions
+
+    # -- class hierarchy ----------------------------------------------
+    def class_chain(self, name: str) -> List[ClassDecl]:
+        """``name``'s declarations plus every project base, transitively.
+
+        Bases are matched by bare name; unknown (builtin / third-party)
+        bases terminate their branch.  Homonymous classes all
+        contribute -- over-approximation, as everywhere here.
+        """
+        chain: List[ClassDecl] = []
+        seen: Set[str] = set()
+        pending = [name]
+        while pending:
+            current = pending.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for decl in self.classes.get(current, []):
+                chain.append(decl)
+                pending.extend(decl.bases)
+        return chain
+
+    # -- conservative call graph ---------------------------------------
+    def reachable_functions(
+        self, roots: Iterable[FunctionDecl]
+    ) -> List[FunctionDecl]:
+        """Name-based reachability closure from ``roots``.
+
+        Every call ``f(...)`` / ``obj.f(...)`` inside a reachable
+        function reaches every project function named ``f``.
+        Constructor calls ``Cls(...)`` reach ``Cls.__init__``.
+        """
+        reached: Dict[Tuple[str, str, int], FunctionDecl] = {}
+        pending: List[FunctionDecl] = list(roots)
+        while pending:
+            decl = pending.pop()
+            key = (decl.module, decl.name, int(getattr(decl.node, "lineno", 0)))
+            if key in reached:
+                continue
+            reached[key] = decl
+            for callee_name in _called_names(decl.node):
+                pending.extend(self.functions.get(callee_name, []))
+                for class_decl in self.classes.get(callee_name, []):
+                    if class_decl.init is not None:
+                        pending.append(
+                            FunctionDecl(
+                                name="__init__",
+                                module=class_decl.module,
+                                rel=class_decl.rel,
+                                node=class_decl.init,
+                            )
+                        )
+        return list(reached.values())
+
+
+# ----------------------------------------------------------------------
+# collection helpers
+# ----------------------------------------------------------------------
+def _collect_imports(file: SourceFile, module: str) -> List[ImportEdge]:
+    is_package = Path(file.rel).name == "__init__.py"
+    edges: List[ImportEdge] = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if _type_checking_only(file, node):
+            # Erased at runtime: no runtime dependency, no cycle; mypy
+            # owns whatever the annotations reference.
+            continue
+        if isinstance(node, ast.Import):
+            top = file.enclosing_function(node) is None
+            for alias in node.names:
+                edges.append(
+                    ImportEdge(
+                        target=alias.name,
+                        line=int(node.lineno),
+                        top_level=top,
+                    )
+                )
+        else:
+            top = file.enclosing_function(node) is None
+            target = _resolve_from(node, module, is_package)
+            if target is None:
+                continue
+            names = tuple(alias.name for alias in node.names)
+            bound = tuple(
+                alias.asname or alias.name for alias in node.names
+            )
+            edges.append(
+                ImportEdge(
+                    target=target,
+                    line=int(node.lineno),
+                    top_level=top,
+                    names=names,
+                    bound=bound,
+                )
+            )
+    return edges
+
+
+def _type_checking_only(file: SourceFile, node: ast.AST) -> bool:
+    """Whether an import sits under an ``if TYPE_CHECKING:`` guard."""
+    for ancestor in file.ancestors(node):
+        if isinstance(ancestor, ast.If):
+            test = ancestor.test
+            name = (
+                test.id
+                if isinstance(test, ast.Name)
+                else test.attr
+                if isinstance(test, ast.Attribute)
+                else None
+            )
+            if name == "TYPE_CHECKING":
+                return True
+    return False
+
+
+def _resolve_from(
+    node: ast.ImportFrom, module: str, is_package: bool
+) -> Optional[str]:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    # level=1 is the importing module's own package: the module itself
+    # for an ``__init__.py``, the containing package otherwise; each
+    # extra level climbs one package higher.
+    package = module.split(".") if is_package else module.split(".")[:-1]
+    climb = node.level - 1
+    if climb > len(package):
+        return None
+    base = package[: len(package) - climb]
+    if node.module:
+        base = base + node.module.split(".")
+    if not base:
+        return None
+    return ".".join(base)
+
+
+def _class_decl(node: ast.ClassDef, info: ModuleInfo) -> ClassDecl:
+    bases: List[str] = []
+    for base in node.bases:
+        dotted = dotted_name(base)
+        if dotted is not None:
+            bases.append(dotted.rsplit(".", 1)[-1])
+    has_reduce = False
+    init: Optional[ast.FunctionDef] = None
+    for member in node.body:
+        if isinstance(member, ast.FunctionDef):
+            if member.name in ("__reduce__", "__reduce_ex__", "__getnewargs__"):
+                has_reduce = True
+            elif member.name == "__init__":
+                init = member
+    return ClassDecl(
+        name=node.name,
+        module=info.name,
+        rel=info.file.rel,
+        line=int(node.lineno),
+        bases=tuple(bases),
+        has_reduce=has_reduce,
+        init=init,
+        node=node,
+    )
+
+
+def _called_names(func: ast.AST) -> FrozenSet[str]:
+    """Bare names of everything called inside one function body."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                names.add(dotted.rsplit(".", 1)[-1])
+            elif isinstance(node.func, ast.Attribute):
+                names.add(node.func.attr)
+    return frozenset(names)

@@ -5,8 +5,17 @@ self-audit test call.  Parsing fans out over a thread pool (the only
 genuinely parallel part -- rules themselves run sequentially so they
 may keep per-project state without locking); every file is parsed
 exactly once and the same :class:`~repro.analysis.core.SourceFile` is
-handed to every rule.  Files that fail to parse are reported as rule
-``RPR000`` findings rather than crashing the run.
+handed to every rule.  After the per-file pass, the successfully
+parsed set is wrapped in one
+:class:`~repro.analysis.project.ProjectContext` and every rule's
+:meth:`~repro.analysis.core.Rule.check_project` runs once over it --
+the project pass behind RPR012-RPR014.  Files that fail to parse are
+reported as rule ``RPR000`` findings rather than crashing the run.
+
+``select`` / ``ignore`` filter the rule pack by id (the CLI's
+``--select`` / ``--ignore``); unknown ids are a hard
+:class:`~repro.hin.errors.AnalysisError` so a typo cannot silently
+disable a check.
 """
 
 from __future__ import annotations
@@ -15,10 +24,12 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Collection, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..hin.errors import AnalysisError
 from .baseline import Baseline, Suppression
-from .core import Finding, Rule, SourceFile, default_rules
+from .core import Finding, Rule, SourceFile, default_rules, registered_rules
+from .project import ProjectContext
 
 __all__ = ["LintResult", "run_lint", "iter_python_files"]
 
@@ -69,6 +80,8 @@ def run_lint(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
     jobs: int = 0,
+    select: Optional[Collection[str]] = None,
+    ignore: Collection[str] = (),
 ) -> LintResult:
     """Lint ``paths`` and return a :class:`LintResult`.
 
@@ -77,9 +90,16 @@ def run_lint(
     defaults to the registered pack
     (:func:`~repro.analysis.core.default_rules`); ``jobs`` bounds the
     parse fan-out (``0`` = one thread per core, capped at 8).
+
+    ``select`` (when given) keeps only the named rule ids; ``ignore``
+    drops the named ids afterwards.  Both accept ``RPR000`` to control
+    syntax-error reporting; any other unknown id raises
+    :class:`~repro.hin.errors.AnalysisError`.
     """
     root_dir = Path(root) if root is not None else Path.cwd()
     active: List[Rule] = list(rules) if rules is not None else list(default_rules())
+    active = _filter_rules(active, select, ignore)
+    report_syntax = _syntax_rule_active(select, ignore)
     files = iter_python_files(paths)
     if jobs <= 0:
         jobs = min(8, os.cpu_count() or 1)
@@ -90,12 +110,22 @@ def run_lint(
     ]
 
     findings: List[Finding] = []
+    sources: List[SourceFile] = []
     for _, outcome in parsed:
         if isinstance(outcome, Finding):
-            findings.append(outcome)
+            if report_syntax:
+                findings.append(outcome)
             continue
+        sources.append(outcome)
         for rule in active:
             findings.extend(rule.check(outcome))
+    project = ProjectContext(sources, root_dir)
+    for rule in active:
+        # getattr: ad-hoc rule objects predating the project pass (tests,
+        # third-party packs) may implement only check/finalize.
+        project_pass = getattr(rule, "check_project", None)
+        if project_pass is not None:
+            findings.extend(project_pass(project))
     for rule in active:
         findings.extend(rule.finalize())
     findings.sort()
@@ -108,6 +138,43 @@ def run_lint(
             baseline.partition(findings)
         )
     return result
+
+
+def _filter_rules(
+    rules: List[Rule],
+    select: Optional[Collection[str]],
+    ignore: Collection[str],
+) -> List[Rule]:
+    """Apply ``select`` / ``ignore`` to the active pack, validating ids."""
+    if select is None and not ignore:
+        return rules
+    known = set(registered_rules()) | {rule.rule_id for rule in rules}
+    known.add(SYNTAX_RULE)
+    for requested in list(select or []) + list(ignore):
+        if requested not in known:
+            raise AnalysisError(
+                f"unknown rule id {requested!r} in --select/--ignore "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    kept = rules
+    if select is not None:
+        wanted = set(select)
+        kept = [rule for rule in kept if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        kept = [rule for rule in kept if rule.rule_id not in dropped]
+    return kept
+
+
+def _syntax_rule_active(
+    select: Optional[Collection[str]], ignore: Collection[str]
+) -> bool:
+    """Whether RPR000 parse-failure findings should be reported."""
+    if SYNTAX_RULE in ignore:
+        return False
+    if select is not None and SYNTAX_RULE not in select:
+        return False
+    return True
 
 
 def _parse_all(

@@ -403,6 +403,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="parse worker threads (0 = auto)",
     )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run exclusively "
+        "(e.g. RPR010,RPR011)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
     return parser
 
 
@@ -441,20 +452,37 @@ def _run_lint(args: argparse.Namespace) -> int:
     )
 
     baseline = None
+    previous = None
     baseline_path = Path(args.baseline)
-    if not args.no_baseline and not args.write_baseline and baseline_path.is_file():
-        baseline = load_baseline(baseline_path)
+    if baseline_path.is_file():
+        if args.write_baseline:
+            # Regenerating: keep the old entries around so findings that
+            # persist inherit their human-written reasons.
+            previous = load_baseline(baseline_path)
+        elif not args.no_baseline:
+            baseline = load_baseline(baseline_path)
+
+    def _rule_ids(raw):
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    select = _rule_ids(args.select) if args.select else None
+    ignore = _rule_ids(args.ignore) if args.ignore else ()
 
     # Finding paths (what baseline entries match on) are anchored at
     # the baseline file's directory, so `hetesim lint --baseline
     # repo/lint_baseline.toml` works from any working directory.
     root = baseline_path.resolve().parent
     result = run_lint(
-        args.paths, root=root, baseline=baseline, jobs=args.jobs
+        args.paths,
+        root=root,
+        baseline=baseline,
+        jobs=args.jobs,
+        select=select,
+        ignore=ignore,
     )
 
     if args.write_baseline:
-        count = write_baseline(result.findings, baseline_path)
+        count = write_baseline(result.findings, baseline_path, previous)
         print(
             f"wrote {count} suppression(s) to {baseline_path} -- "
             "fill in each 'reason' before committing"

@@ -104,6 +104,13 @@ class CSRManifest:
     indptr: ArraySpec
 
 
+#: The engine's in-memory halves tuple ``(left, right, left_norms,
+#: right_norms)``; ``right is left`` for symmetric paths.
+HalvesTuple = Tuple[
+    sparse.csr_matrix, sparse.csr_matrix, np.ndarray, np.ndarray
+]
+
+
 @dataclass(frozen=True)
 class HalvesManifest:
     """One engine halves tuple ``(left, right, left_norms, right_norms)``
@@ -123,8 +130,10 @@ class HalvesManifest:
 
     def segment_names(self) -> List[str]:
         """Names of every distinct segment the manifest references."""
-        manifests = [self.left] + ([] if self.symmetric else [self.right])
-        names = []
+        manifests = [self.left]
+        if not self.symmetric and self.right is not None:
+            manifests.append(self.right)
+        names: List[str] = []
         for csr in manifests:
             names.extend(
                 [csr.data.name, csr.indices.name, csr.indptr.name]
@@ -215,7 +224,7 @@ def _untracked() -> Iterator[None]:
     unregistration are patched to no-ops for the duration of the call
     -- the :class:`ShmLease` discipline is the tracking.
     """
-    def _noop(name: str, rtype: str) -> None:
+    def _noop(name: object, rtype: object) -> None:
         pass
 
     with _TRACKER_LOCK:
@@ -331,7 +340,7 @@ def attach_csr(
     )
 
 
-def publish_halves(halves, lease: ShmLease) -> HalvesManifest:
+def publish_halves(halves: HalvesTuple, lease: ShmLease) -> HalvesManifest:
     """Publish one engine halves tuple under ``lease``.
 
     ``halves`` is the engine's ``(left, right, left_norms,
@@ -351,7 +360,7 @@ def publish_halves(halves, lease: ShmLease) -> HalvesManifest:
 
 def attach_halves(
     manifest: HalvesManifest, lease: ShmLease, copy: bool = False
-):
+) -> HalvesTuple:
     """Reattach a published halves tuple.
 
     ``copy=False`` (worker side): zero-copy views valid while
@@ -363,6 +372,10 @@ def attach_halves(
     if manifest.symmetric:
         right = left
     else:
+        if manifest.right is None:
+            raise QueryError(
+                "non-symmetric halves manifest is missing its right half"
+            )
         right = attach_csr(manifest.right, lease, copy=copy)
     left_norms = attach_array(manifest.left_norms, lease, copy=copy)
     right_norms = attach_array(manifest.right_norms, lease, copy=copy)

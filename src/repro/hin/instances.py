@@ -81,19 +81,28 @@ def count_path_instances(
 ) -> int:
     """Exact number of path instances between a pair.
 
-    Computed from the adjacency product (PathSim's count matrix), so it
-    is exact even when enumeration would exceed any reasonable limit.
-    Parallel edges count multiplicatively through their weights; for
-    unweighted graphs this is the plain instance count.
+    Computed from the adjacency product (PathSim's count matrix --
+    ``W_{A1 A2} W_{A2 A3} ...``, the definitional left-to-right chain
+    over the raw adjacency factors), so it is exact even when
+    enumeration would exceed any reasonable limit.  Parallel edges
+    count multiplicatively through their weights; for unweighted
+    graphs this is the plain instance count.  Production callers that
+    want caching/planning go through
+    ``repro.core.measures.base.MeasureContext.count_matrix``; this
+    stays a self-contained ground-truth helper of the graph layer.
     """
-    from ..baselines.pathsim import path_count_matrix
+    from .matrices import factor_matrix
 
     source_type = path.source_type.name
     target_type = path.target_type.name
     for type_name, key in ((source_type, source_key), (target_type, target_key)):
         if not graph.has_node(type_name, key):
             raise QueryError(f"{key!r} is not a {type_name!r} node")
-    counts = path_count_matrix(graph, path)
+    counts = None
+    for relation in path.relations:
+        factor = factor_matrix(graph, relation.name, "W")
+        counts = factor if counts is None else (counts @ factor).tocsr()
+    assert counts is not None  # a MetaPath has >= 1 relation
     i = graph.node_index(source_type, source_key)
     j = graph.node_index(target_type, target_key)
     return int(round(counts[i, j]))

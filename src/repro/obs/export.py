@@ -29,6 +29,8 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabelPairs,
+    MetricChild,
     MetricFamily,
     MetricsRegistry,
     REGISTRY,
@@ -37,7 +39,7 @@ from .metrics import (
 __all__ = ["prometheus_text", "json_snapshot", "render_json"]
 
 
-def _label_text(labels, extra: str = "") -> str:
+def _label_text(labels: LabelPairs, extra: str = "") -> str:
     """``{k="v",...}`` rendering (empty string for no labels)."""
     parts = [f'{key}="{_escape(value)}"' for key, value in labels]
     if extra:
@@ -99,7 +101,7 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _child_dict(family: MetricFamily, child) -> Dict[str, Any]:
+def _child_dict(family: MetricFamily, child: MetricChild) -> Dict[str, Any]:
     node: Dict[str, Any] = {"labels": dict(child.labels)}
     if isinstance(child, Histogram):
         node["count"] = child.count

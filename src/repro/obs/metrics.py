@@ -28,7 +28,18 @@ from __future__ import annotations
 import bisect
 import itertools
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypedDict,
+    Union,
+    cast,
+)
 
 from ..hin.errors import QueryError
 
@@ -203,9 +214,9 @@ class Histogram:
                 "count": self._count,
             }
 
-    def merge_state(self, state: Dict[str, object]) -> None:
+    def merge_state(self, state: Dict[str, Any]) -> None:
         """Add another histogram's raw state (same bucket bounds)."""
-        slots = tuple(state["slots"])  # type: ignore[arg-type]
+        slots = tuple(state["slots"])
         if len(slots) != len(self.bounds) + 1:
             raise QueryError(
                 f"cannot merge histogram state with {len(slots)} slots "
@@ -214,11 +225,21 @@ class Histogram:
         with self._lock:
             for position, slot in enumerate(slots):
                 self._slots[position] += int(slot)
-            self._sum += float(state["sum"])  # type: ignore[arg-type]
-            self._count += int(state["count"])  # type: ignore[arg-type]
+            self._sum += float(state["sum"])
+            self._count += int(state["count"])
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+#: Any concrete child series a family can hold.
+MetricChild = Union[Counter, Gauge, Histogram]
+
+#: The kinds that support ``inc`` (histograms only observe).
+_Incrementable = Union[Counter, Gauge]
+
+_KINDS: Dict[str, Callable[..., MetricChild]] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
 
 
 class MetricFamily:
@@ -244,9 +265,9 @@ class MetricFamily:
         self.kind = kind
         self.buckets = tuple(buckets) if buckets is not None else None
         self._lock = threading.Lock()
-        self._children: Dict[LabelPairs, object] = {}
+        self._children: Dict[LabelPairs, MetricChild] = {}
 
-    def labels(self, **labels: str):
+    def labels(self, **labels: str) -> MetricChild:
         """The child series for one label combination (created once)."""
         key: LabelPairs = tuple(
             sorted((k, str(v)) for k, v in labels.items())
@@ -255,13 +276,17 @@ class MetricFamily:
             child = self._children.get(key)
             if child is None:
                 if self.kind == "histogram":
+                    if self.buckets is None:  # pragma: no cover
+                        raise QueryError(
+                            f"histogram {self.name!r} has no buckets"
+                        )
                     child = Histogram(self.buckets, labels=key)
                 else:
                     child = _KINDS[self.kind](labels=key)
                 self._children[key] = child
             return child
 
-    def children(self) -> List[object]:
+    def children(self) -> List[MetricChild]:
         """Snapshot of every child series, label-sorted."""
         with self._lock:
             return [
@@ -271,24 +296,24 @@ class MetricFamily:
     # -- unlabelled-child conveniences ---------------------------------
     def inc(self, amount: float = 1.0) -> None:
         """``labels().inc(amount)`` (counters and gauges)."""
-        self.labels().inc(amount)
+        cast(_Incrementable, self.labels()).inc(amount)
 
     def set(self, value: float) -> None:
         """``labels().set(value)`` (gauges)."""
-        self.labels().set(value)
+        cast(Gauge, self.labels()).set(value)
 
     def dec(self, amount: float = 1.0) -> None:
         """``labels().dec(amount)`` (gauges)."""
-        self.labels().dec(amount)
+        cast(Gauge, self.labels()).dec(amount)
 
     def observe(self, value: float) -> None:
         """``labels().observe(value)`` (histograms)."""
-        self.labels().observe(value)
+        cast(Histogram, self.labels()).observe(value)
 
     @property
     def value(self) -> float:
         """``labels().value`` of the unlabelled child."""
-        return self.labels().value
+        return cast(_Incrementable, self.labels()).value
 
     def reset(self) -> None:
         """Reset every child series of the family."""
@@ -375,9 +400,24 @@ _INSTANCE_IDS = itertools.count()
 _INSTANCE_LOCK = threading.Lock()
 
 
+class FamilyState(TypedDict):
+    """One family's snapshot entry (see :data:`RegistryState`).
+
+    The child payload is deliberately loose (``Any``): a counter child
+    is its float total, a histogram child its raw slots/sum/count dict,
+    and the whole structure crosses a pickle boundary between worker
+    and parent processes.
+    """
+
+    kind: str
+    help: str
+    buckets: Optional[Tuple[float, ...]]
+    children: Dict[LabelPairs, Any]
+
+
 #: Picklable registry snapshot: family name -> kind/help/buckets plus a
 #: per-label-key child payload (counter total or raw histogram state).
-RegistryState = Dict[str, Dict[str, object]]
+RegistryState = Dict[str, FamilyState]
 
 
 def export_state(
@@ -395,12 +435,12 @@ def export_state(
     for family in target.families():
         if family.kind == "gauge":
             continue
-        children: Dict[LabelPairs, object] = {}
+        children: Dict[LabelPairs, Any] = {}
         for child in family.children():
-            if family.kind == "counter":
-                children[child.labels] = child.value
-            else:
+            if isinstance(child, Histogram):
                 children[child.labels] = child.state()
+            elif isinstance(child, Counter):
+                children[child.labels] = child.value
         state[family.name] = {
             "kind": family.kind,
             "help": family.help,
@@ -421,9 +461,11 @@ def diff_states(
     """
     delta: RegistryState = {}
     for name, family_after in after.items():
-        family_before = before.get(name, {"children": {}})
-        before_children = family_before["children"]
-        children: Dict[LabelPairs, object] = {}
+        family_before = before.get(name)
+        before_children: Dict[LabelPairs, Any] = (
+            family_before["children"] if family_before is not None else {}
+        )
+        children: Dict[LabelPairs, Any] = {}
         for key, value in family_after["children"].items():
             previous = before_children.get(key)
             if family_after["kind"] == "counter":
@@ -474,15 +516,20 @@ def merge_delta(
         if family_delta["kind"] == "counter":
             family = target.counter(name, family_delta["help"])
             for key, change in family_delta["children"].items():
-                family.labels(**dict(key)).inc(float(change))
+                child = family.labels(**dict(key))
+                cast(Counter, child).inc(float(change))
         else:
+            buckets = family_delta["buckets"]
+            if buckets is None:  # pragma: no cover - deltas carry buckets
+                raise QueryError(
+                    f"histogram delta {name!r} carries no bucket bounds"
+                )
             family = target.histogram(
-                name,
-                family_delta["help"],
-                buckets=family_delta["buckets"],
+                name, family_delta["help"], buckets=buckets
             )
             for key, state in family_delta["children"].items():
-                family.labels(**dict(key)).merge_state(state)
+                child = family.labels(**dict(key))
+                cast(Histogram, child).merge_state(state)
 
 
 def instance_label(prefix: str) -> str:

@@ -34,8 +34,9 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from contextvars import ContextVar
-from typing import Any, Dict, Iterator, List, Optional
+from contextvars import ContextVar, Token
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 __all__ = [
     "ROOT_LIMIT",
@@ -202,7 +203,7 @@ class _SpanScope:
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self.tracer = tracer
         self.span = span
-        self._token = None
+        self._token: Optional[Token[Optional[Span]]] = None
         self._is_root = False
 
     def __enter__(self) -> Span:
@@ -214,8 +215,14 @@ class _SpanScope:
         self._token = _ACTIVE.set(self.span)
         return self.span
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        _ACTIVE.reset(self._token)
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
         self.span.finish(error=exc)
         if self._is_root:
             self.tracer._retain_root(self.span)
@@ -250,7 +257,9 @@ class Tracer:
             self.roots.clear()
 
     # -- span creation -------------------------------------------------
-    def span(self, name: str, **attributes: Any):
+    def span(
+        self, name: str, **attributes: Any
+    ) -> Union[NullSpan, "_SpanScope"]:
         """A context manager measuring one unit of work.
 
         Disabled tracer: returns the shared no-op manager (one
@@ -279,7 +288,7 @@ class Tracer:
 TRACER = Tracer()
 
 
-def span(name: str, **attributes: Any):
+def span(name: str, **attributes: Any) -> Union[NullSpan, _SpanScope]:
     """``TRACER.span(...)`` -- the form instrumentation sites import."""
     return TRACER.span(name, **attributes)
 

@@ -8,7 +8,12 @@ agrees with tomllib on the subset it supports.
 
 import pytest
 
-from repro.analysis import Suppression, load_baseline, write_baseline
+from repro.analysis import (
+    PLACEHOLDER_REASON,
+    Suppression,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.baseline import _parse_toml_subset
 from repro.analysis.core import Finding
 from repro.hin.errors import AnalysisError
@@ -177,3 +182,65 @@ class TestTomlSubsetParser:
     def test_unsupported_syntax_is_a_hard_error(self, bad):
         with pytest.raises(AnalysisError):
             _parse_toml_subset(bad, "x.toml")
+
+
+class TestWriteBaselinePreservesReasons:
+    """Regression: regenerating must never destroy reviewed justifications."""
+
+    def test_reviewed_reason_survives_regeneration(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        reviewed = finding(line=3)
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'line = 3\n'
+            'reason = "bounded row densification, reviewed"\n'
+        )
+        previous = load_baseline(path)
+        new = finding(rule="RPR002", line=9)
+        write_baseline([reviewed, new], path, previous)
+        regenerated = load_baseline(path)
+        by_rule = {s.rule: s.reason for s in regenerated.suppressions}
+        assert by_rule["RPR001"] == "bounded row densification, reviewed"
+        assert by_rule["RPR002"] == PLACEHOLDER_REASON
+
+    def test_placeholder_reasons_are_not_inherited(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        covered = finding(line=3)
+        write_baseline([covered], path)  # first pass: placeholder
+        previous = load_baseline(path)
+        write_baseline([covered], path, previous)
+        regenerated = load_baseline(path)
+        assert regenerated.suppressions[0].reason == PLACEHOLDER_REASON
+
+    def test_match_pinned_entry_lends_its_reason(self, tmp_path):
+        # The hand-written entry uses `match`, not `line`; it still
+        # covers the regenerated finding and donates its reason.
+        path = tmp_path / "baseline.toml"
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            'match = "msg"\n'
+            'reason = "reviewed via match"\n'
+        )
+        previous = load_baseline(path)
+        write_baseline([finding(line=42)], path, previous)
+        assert load_baseline(path).suppressions[0].reason == (
+            "reviewed via match"
+        )
+
+    def test_reason_escaping_round_trips(self, tmp_path):
+        path = tmp_path / "baseline.toml"
+        tricky = 'say "hi" \\ done\tand\nmore'
+        path.write_text(
+            '[[suppression]]\n'
+            'rule = "RPR001"\n'
+            'path = "src/repro/m.py"\n'
+            "reason = \"say \\\"hi\\\" \\\\ done\\tand\\nmore\"\n"
+        )
+        previous = load_baseline(path)
+        assert previous.suppressions[0].reason == tricky
+        write_baseline([finding(line=3)], path, previous)
+        assert load_baseline(path).suppressions[0].reason == tricky

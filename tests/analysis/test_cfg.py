@@ -1,0 +1,272 @@
+"""CFG construction: hand-drawn expected edge sets for the tricky shapes.
+
+Every test builds a small function, draws its control-flow graph by
+hand as ``(src_label, dst_label, kind)`` triples, and asserts exact
+set equality against :meth:`CFG.edges` -- no "contains" assertions, so
+a phantom edge regression or a lost edge both fail loudly.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    EDGE_EXCEPTION,
+    EDGE_NORMAL,
+    build_cfg,
+    may_raise,
+    statement_expressions,
+)
+
+N = EDGE_NORMAL
+X = EDGE_EXCEPTION
+
+
+def cfg_for(source):
+    code = textwrap.dedent(source)
+    func = ast.parse(code).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+class TestStraightLine:
+    def test_two_statements(self):
+        cfg = cfg_for(
+            """\
+            def f():
+                a = 1
+                b = use(a)
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "Assign@2", N),
+            ("Assign@2", "Assign@3", N),
+            ("Assign@3", "raise_exit", X),  # use(a) may raise
+            ("Assign@3", "exit", N),
+        }
+
+    def test_if_else_diamond(self):
+        cfg = cfg_for(
+            """\
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "If@2", N),
+            ("If@2", "Assign@3", N),
+            ("If@2", "Assign@5", N),
+            ("Assign@3", "Return@6", N),
+            ("Assign@5", "Return@6", N),
+            ("Return@6", "exit", N),
+        }
+
+
+class TestNestedFinallyWithReturn:
+    """A ``return`` unwinds through *both* finallies, innermost first."""
+
+    SOURCE = """\
+        def f():
+            try:
+                try:
+                    return 1
+                finally:
+                    inner()
+            finally:
+                outer()
+        """
+
+    def test_hand_drawn_edges(self):
+        cfg = cfg_for(self.SOURCE)
+        assert cfg.edges() == {
+            # the return reaches exit only through inner then outer finally
+            ("entry", "Return@4", N),
+            ("Return@4", "Finally@6", N),
+            ("Finally@6", "Expr@6", N),
+            ("Expr@6", "FinallyExit@6", N),
+            ("FinallyExit@6", "Finally@8", N),
+            ("Finally@8", "Expr@8", N),
+            ("Expr@8", "FinallyExit@8", N),
+            ("FinallyExit@8", "exit", N),
+            # inner() raising propagates into the *outer* finally, not
+            # back into its own; outer() raising escapes the function
+            ("Expr@6", "Finally@8", X),
+            ("FinallyExit@8", "raise_exit", X),
+            ("Expr@8", "raise_exit", X),
+        }
+
+    def test_no_shortcut_to_exit(self):
+        # The property the edge set encodes: no edge reaches exit
+        # without coming from the outer finally's exit node.
+        cfg = cfg_for(self.SOURCE)
+        into_exit = {src for src, dst, _ in cfg.edges() if dst == "exit"}
+        assert into_exit == {"FinallyExit@8"}
+
+
+class TestWithMultipleManagers:
+    """One ``with`` node owns every manager; one WithExit guards the body."""
+
+    SOURCE = """\
+        def f():
+            with open("a") as a, open("b") as b:
+                use(a, b)
+        """
+
+    def test_hand_drawn_edges(self):
+        cfg = cfg_for(self.SOURCE)
+        assert cfg.edges() == {
+            ("entry", "With@2", N),
+            # a manager constructor failing: __exit__ never runs
+            ("With@2", "raise_exit", X),
+            ("With@2", "Expr@3", N),
+            # the body raising still passes through __exit__
+            ("Expr@3", "WithExit@2", N),
+            ("Expr@3", "WithExit@2", X),
+            ("WithExit@2", "exit", N),
+            ("WithExit@2", "raise_exit", X),
+        }
+
+    def test_header_owns_both_context_expressions(self):
+        code = textwrap.dedent(self.SOURCE)
+        with_stmt = ast.parse(code).body[0].body[0]
+        exprs = statement_expressions(with_stmt)
+        assert len(exprs) == 2
+        assert all(isinstance(expr, ast.Call) for expr in exprs)
+        assert may_raise(with_stmt)
+
+
+class TestWhileElse:
+    """``else`` runs only on normal exhaustion; ``break`` skips it."""
+
+    SOURCE = """\
+        def f():
+            while cond():
+                if stop():
+                    break
+                step()
+            else:
+                tail()
+            done()
+        """
+
+    def test_hand_drawn_edges(self):
+        cfg = cfg_for(self.SOURCE)
+        assert cfg.edges() == {
+            ("entry", "While@2", N),
+            ("While@2", "raise_exit", X),
+            ("While@2", "If@3", N),
+            ("If@3", "raise_exit", X),
+            ("If@3", "Break@4", N),
+            ("If@3", "Expr@5", N),
+            ("Expr@5", "raise_exit", X),
+            ("Expr@5", "While@2", N),  # back edge
+            ("While@2", "Expr@7", N),  # exhaustion -> else
+            ("Expr@7", "raise_exit", X),
+            ("Expr@7", "Expr@8", N),  # else falls through to done()
+            ("Break@4", "Expr@8", N),  # break jumps PAST the else
+            ("Expr@8", "raise_exit", X),
+            ("Expr@8", "exit", N),
+        }
+
+    def test_break_does_not_reach_else(self):
+        cfg = cfg_for(self.SOURCE)
+        assert ("Break@4", "Expr@7", N) not in cfg.edges()
+
+
+class TestBareRaiseInExcept:
+    """A bare ``raise`` re-raise ends the handler: no normal fallthrough."""
+
+    SOURCE = """\
+        def f():
+            try:
+                risky()
+            except ValueError:
+                log()
+                raise
+            done()
+        """
+
+    def test_hand_drawn_edges(self):
+        cfg = cfg_for(self.SOURCE)
+        assert cfg.edges() == {
+            ("entry", "Expr@3", N),
+            # risky() raising: maybe the handler matches, maybe not
+            ("Expr@3", "ExceptHandler@4", X),
+            ("Expr@3", "raise_exit", X),
+            ("Expr@3", "Expr@7", N),
+            ("ExceptHandler@4", "Expr@5", N),
+            ("Expr@5", "raise_exit", X),
+            ("Expr@5", "Raise@6", N),
+            ("Raise@6", "raise_exit", X),
+            ("Expr@7", "raise_exit", X),
+            ("Expr@7", "exit", N),
+        }
+
+    def test_handler_never_falls_through(self):
+        cfg = cfg_for(self.SOURCE)
+        sources_of_done = {
+            src for src, dst, _ in cfg.edges() if dst == "Expr@7"
+        }
+        assert sources_of_done == {"Expr@3"}
+
+
+class TestCatchAllStopsPropagation:
+    def test_bare_except_consumes_the_exception(self):
+        cfg = cfg_for(
+            """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    fallback()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "Expr@3", N),
+            ("Expr@3", "ExceptHandler@4", X),
+            ("Expr@3", "exit", N),
+            ("ExceptHandler@4", "Expr@5", N),
+            ("Expr@5", "raise_exit", X),
+            ("Expr@5", "exit", N),
+        }
+        # crucially absent: ("Expr@3", "raise_exit", X)
+
+
+class TestLabelsAndHeaders:
+    def test_duplicate_labels_disambiguated(self):
+        cfg = cfg_for(
+            """\
+            def f(c):
+                if c: a()
+                else: b()
+            """
+        )
+        labels = {node.label for node in cfg.nodes}
+        assert "Expr@2" in labels and "Expr@3" in labels
+
+    def test_node_for_finds_statement_headers(self):
+        code = textwrap.dedent(
+            """\
+            def f():
+                x = 1
+                return x
+            """
+        )
+        func = ast.parse(code).body[0]
+        cfg = build_cfg(func)
+        assign = func.body[0]
+        assert cfg.node_for(assign).label == "Assign@2"
+        assert cfg.node_for(func) is None
+
+    def test_may_raise_approximation(self):
+        def stmt(src):
+            return ast.parse(textwrap.dedent(src)).body[0]
+
+        assert may_raise(stmt("raise ValueError()"))
+        assert may_raise(stmt("assert x"))
+        assert may_raise(stmt("x = f()"))
+        assert not may_raise(stmt("x = y + 1"))  # documented approximation
+        assert not may_raise(stmt("x = obj.attr"))

@@ -1,0 +1,225 @@
+"""Path-sensitive lifetime rules: RPR010 (resources), RPR011 (tokens).
+
+Bad fixtures assert the exact rule id and line; good fixtures assert
+silence, including the deliberate escape-analysis outs (ownership
+transfer, with-statements, finally cleanup).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import ContextTokenRule, ResourceLifetimeRule
+from repro.analysis.core import SourceFile
+
+
+def lint(rule, source, rel="src/repro/example.py"):
+    code = textwrap.dedent(source)
+    file = SourceFile(None, rel, code, ast.parse(code))
+    return [(f.rule, f.line) for f in rule.check(file)]
+
+
+class TestResourceLifetimeRule:
+    def test_early_return_leak_flagged(self):
+        assert lint(
+            ResourceLifetimeRule(),
+            """\
+            def publish(shape, fast):
+                lease = ShmLease(shape)
+                if fast:
+                    return None
+                lease.release()
+            """,
+        ) == [("RPR010", 2)]
+
+    def test_exception_path_leak_flagged(self):
+        assert lint(
+            ResourceLifetimeRule(),
+            """\
+            def publish(name):
+                seg = SharedMemory(name)
+                fill(name)
+                seg.close()
+            """,
+        ) == [("RPR010", 2)]
+
+    def test_bare_acquire_without_finally_flagged(self):
+        assert lint(
+            ResourceLifetimeRule(),
+            """\
+            def locked(self):
+                self._lock.acquire()
+                work(self)
+                self._lock.release()
+            """,
+        ) == [("RPR010", 2)]
+
+    def test_finally_release_passes(self):
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def publish(shape):
+                    lease = ShmLease(shape)
+                    try:
+                        fill(shape)
+                    finally:
+                        lease.release()
+                """,
+            )
+            == []
+        )
+
+    def test_with_statement_passes(self):
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def locked(self):
+                    with self._lock:
+                        work(self)
+                """,
+            )
+            == []
+        )
+
+    def test_returned_resource_is_ownership_transfer(self):
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def open_lease(shape):
+                    lease = ShmLease(shape)
+                    return lease
+                """,
+            )
+            == []
+        )
+
+    def test_handoff_counts_as_release(self):
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def publish(shape):
+                    lease = ShmLease(shape)
+                    try:
+                        fill(shape)
+                    finally:
+                        lease.handoff()
+                """,
+            )
+            == []
+        )
+
+    def test_constructor_failure_path_not_a_leak(self):
+        # The exception edge out of the acquisition itself means nothing
+        # was acquired; only the *normal* successors must release.
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def publish(shape):
+                    lease = ShmLease(shape)
+                    lease.release()
+                """,
+            )
+            == []
+        )
+
+    def test_outside_library_prefix_silent(self):
+        assert (
+            lint(
+                ResourceLifetimeRule(),
+                """\
+                def publish(shape):
+                    lease = ShmLease(shape)
+                    return None
+                """,
+                rel="tests/test_x.py",
+            )
+            == []
+        )
+
+
+class TestContextTokenRule:
+    def test_unreset_token_flagged(self):
+        assert lint(
+            ContextTokenRule(),
+            """\
+            from contextvars import ContextVar
+
+            LIMITS = ContextVar("limits")
+
+            def apply(ctx, fast):
+                token = LIMITS.set(ctx)
+                if fast:
+                    return None
+                LIMITS.reset(token)
+            """,
+        ) == [("RPR011", 6)]
+
+    def test_discarded_token_flagged(self):
+        assert lint(
+            ContextTokenRule(),
+            """\
+            from contextvars import ContextVar
+
+            LIMITS = ContextVar("limits")
+
+            def apply(ctx):
+                LIMITS.set(ctx)
+            """,
+        ) == [("RPR011", 6)]
+
+    def test_finally_reset_passes(self):
+        assert (
+            lint(
+                ContextTokenRule(),
+                """\
+                from contextvars import ContextVar
+
+                LIMITS = ContextVar("limits")
+
+                def apply(ctx):
+                    token = LIMITS.set(ctx)
+                    try:
+                        work()
+                    finally:
+                        LIMITS.reset(token)
+                """,
+            )
+            == []
+        )
+
+    def test_returned_token_is_ownership_transfer(self):
+        assert (
+            lint(
+                ContextTokenRule(),
+                """\
+                from contextvars import ContextVar
+
+                LIMITS = ContextVar("limits")
+
+                def enter(ctx):
+                    token = LIMITS.set(ctx)
+                    return token
+                """,
+            )
+            == []
+        )
+
+    def test_non_contextvar_set_ignored(self):
+        assert (
+            lint(
+                ContextTokenRule(),
+                """\
+                from contextvars import ContextVar
+
+                LIMITS = ContextVar("limits")
+
+                def store(bag, value):
+                    bag.set(value)
+                """,
+            )
+            == []
+        )
