@@ -1,0 +1,291 @@
+"""HTTP serving-tier benchmarks: sustained QPS and tail latency over a
+real socket, plus a deterministic fault drill.
+
+Two sections, written machine-readable to ``BENCH_http.json``:
+
+* ``http_throughput`` -- concurrent clients drive ``/query`` and
+  ``/topk`` against a warmed engine over real TCP connections;
+  records sustained QPS plus p50/p99 latency, both client-measured
+  and as read back from the server's own
+  ``repro_http_request_seconds`` histogram.
+* ``http_fault_drill`` -- a cold engine behind a tenant with a tight
+  deadline and a :class:`~repro.runtime.faults.FaultPlan` of ``delay``
+  faults at ``executor.step``.  Delays push the exact attempt over the
+  deadline deterministically, so requests must come back **200 with
+  degradation provenance** -- the gate is *zero* responses with status
+  >= 500 and at least one degraded answer.
+
+``delay`` (not ``fail``) faults are the right drill here:
+:class:`~repro.hin.errors.InjectedFaultError` is not a
+``ResourceLimitError``, so the degradation ladder does not absorb it
+-- a ``fail`` fault would be an injected hard error, answered as a
+typed 500.  Delays surface as deadline trips, which is exactly the
+overload path the ladder exists for.
+
+Under ``--benchmark-disable`` (CI smoke) the load shrinks and
+``BENCH_http.json`` is not rewritten; the metrics registry dump
+(``BENCH_http_metrics.json``) is written in every mode.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from threading import Thread
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.random_hin import make_random_hin
+from repro.hin.schema import NetworkSchema
+from repro.obs.export import render_json
+from repro.obs.metrics import REGISTRY
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.limits import ExecutionLimits
+from repro.serve import AdmissionController, HttpServer, Tenant
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_http.json"
+METRICS_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_http_metrics.json"
+)
+
+FULL_SIZES = {"author": 600, "paper": 1200, "conf": 60}
+QUICK_SIZES = {"author": 50, "paper": 80, "conf": 10}
+FULL_REQUESTS = 400
+QUICK_REQUESTS = 24
+CLIENTS = 4
+PATHS = ["APC", "APCPA"]
+
+
+def _schema():
+    return NetworkSchema.from_spec(
+        types=[("author", "A"), ("paper", "P"), ("conf", "C")],
+        relations=[
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "conf"),
+        ],
+    )
+
+
+def _quick(config) -> bool:
+    try:
+        return bool(config.getoption("--benchmark-disable"))
+    except (ValueError, KeyError):
+        return False
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_http.json (machine-readable)."""
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results[section] = payload
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def _post(port: int, path: str, body: dict, key: str) -> int:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(body).encode(),
+            headers={"X-API-Key": key},
+        )
+        response = connection.getresponse()
+        response.read()
+        return response.status
+    finally:
+        connection.close()
+
+
+def _drive(port: int, requests: list, key: str, clients: int):
+    """Fan ``requests`` (path, body) over ``clients`` threads; returns
+    (statuses, per-request seconds, wall seconds)."""
+    statuses = [0] * len(requests)
+    latencies = [0.0] * len(requests)
+
+    def worker(offset: int) -> None:
+        for index in range(offset, len(requests), clients):
+            path, body = requests[index]
+            tick = time.perf_counter()
+            statuses[index] = _post(port, path, body, key)
+            latencies[index] = time.perf_counter() - tick
+
+    threads = [Thread(target=worker, args=(i,)) for i in range(clients)]
+    wall = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return statuses, latencies, time.perf_counter() - wall
+
+
+def _percentile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    position = min(
+        len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+    )
+    return ordered[position]
+
+
+def test_http_throughput(request):
+    """Sustained mixed /query + /topk load over real sockets."""
+    quick = _quick(request.config)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    graph = make_random_hin(
+        _schema(),
+        sizes=sizes,
+        edge_prob=8.0 / sizes["paper"],
+        seed=23,
+        ensure_connected_rows=True,
+    )
+    engine = HeteSimEngine(graph)
+    for spec in PATHS:
+        engine.halves(engine.path(spec))
+    authors = graph.node_keys("author")
+    confs = graph.node_keys("conf")
+    requests = []
+    for index in range(n_requests):
+        author = authors[index % len(authors)]
+        spec = PATHS[index % len(PATHS)]
+        if index % 2:
+            requests.append(
+                ("/topk", {"source": author, "path": spec, "k": 10})
+            )
+        else:
+            requests.append(
+                (
+                    "/query",
+                    {
+                        "source": author,
+                        "target": confs[index % len(confs)],
+                        "path": "APC",
+                    },
+                )
+            )
+
+    tenants = {"key-bench": Tenant("bench")}
+    with HttpServer(
+        engine,
+        admission=AdmissionController(tenants, queue_capacity=256),
+        workers=CLIENTS,
+    ) as server:
+        statuses, latencies, wall = _drive(
+            server.port, requests, "key-bench", CLIENTS
+        )
+
+    assert all(status == 200 for status in statuses), statuses
+    qps = len(requests) / wall if wall > 0 else float("inf")
+    family = REGISTRY.get("repro_http_request_seconds")
+    server_p50 = family.labels(endpoint="topk").quantile(0.5)
+    server_p99 = family.labels(endpoint="topk").quantile(0.99)
+
+    METRICS_PATH.write_text(render_json() + "\n")
+    if quick:
+        return
+    _record(
+        "http_throughput",
+        {
+            "sizes": sizes,
+            "paths": PATHS,
+            "n_requests": len(requests),
+            "clients": CLIENTS,
+            "wall_seconds": wall,
+            "sustained_qps": qps,
+            "client_p50_seconds": _percentile(latencies, 0.50),
+            "client_p99_seconds": _percentile(latencies, 0.99),
+            "server_topk_p50_seconds": server_p50,
+            "server_topk_p99_seconds": server_p99,
+            "n_500s": sum(1 for s in statuses if s >= 500),
+        },
+    )
+
+
+def test_http_fault_drill(request):
+    """Deterministic overload drill: delays + deadline => degraded 200s.
+
+    The hard gate (every mode, every host): zero responses with status
+    >= 500, and at least one answer carried degradation provenance.
+    """
+    quick = _quick(request.config)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    graph = make_random_hin(
+        _schema(),
+        sizes=sizes,
+        edge_prob=8.0 / sizes["paper"],
+        seed=29,
+        ensure_connected_rows=True,
+    )
+    engine = HeteSimEngine(graph)  # cold: materialisation must happen
+    authors = graph.node_keys("author")
+    plan = FaultPlan(
+        [
+            FaultSpec("executor.step", occurrence, "delay", delay_s=0.02)
+            for occurrence in range(8)
+        ]
+    )
+    tenants = {
+        "key-strict": Tenant(
+            "strict", limits=ExecutionLimits(deadline_ms=5.0)
+        )
+    }
+    degraded_before = _degraded_total()
+    requests = []
+    for index in range(12):
+        author = authors[index % len(authors)]
+        if index % 3 == 2:
+            requests.append(
+                (
+                    "/batch",
+                    {
+                        "queries": [
+                            {"source": author, "path": "APC", "k": 5}
+                        ]
+                    },
+                )
+            )
+        else:
+            requests.append(
+                ("/topk", {"source": author, "path": "APCPA", "k": 5})
+            )
+    with HttpServer(
+        engine,
+        admission=AdmissionController(tenants, queue_capacity=64),
+        faults=plan,
+        workers=2,
+    ) as server:
+        statuses, latencies, wall = _drive(
+            server.port, requests, "key-strict", 2
+        )
+
+    n_500s = sum(1 for status in statuses if status >= 500)
+    assert n_500s == 0, statuses
+    assert all(status == 200 for status in statuses), statuses
+    degraded = _degraded_total() - degraded_before
+    assert degraded > 0, "fault drill produced no degraded answers"
+
+    METRICS_PATH.write_text(render_json() + "\n")
+    if quick:
+        return
+    _record(
+        "http_fault_drill",
+        {
+            "sizes": sizes,
+            "n_requests": len(requests),
+            "fault_plan": "executor.step delay x8 (20ms each)",
+            "tenant_deadline_ms": 5.0,
+            "wall_seconds": wall,
+            "n_500s": n_500s,
+            "degraded_answers": degraded,
+            "p99_seconds": _percentile(latencies, 0.99),
+        },
+    )
+
+
+def _degraded_total() -> float:
+    family = REGISTRY.get("repro_http_degraded_total")
+    if family is None:
+        return 0.0
+    return sum(child.value for child in family.children())

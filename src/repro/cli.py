@@ -48,6 +48,13 @@ Workflows::
     python -m repro.cli serve-batch graph.json \\
         --queries Tom:APC Mary:APC -k 5 --workers 4 --backend process
 
+    # Network serving: async HTTP tier with per-tenant API keys, token
+    # buckets, a bounded admission queue and graceful SIGTERM drain.
+    # Overload degrades through the resilience ladder (provenance in
+    # X-Repro-* headers) instead of failing.
+    python -m repro.cli serve-http graph.json --port 8080 \\
+        --tenants tenants.json --workers 4 --deadline-ms 250
+
     # Observability exports: run a warm+batch workload, then emit the
     # metric registry (Prometheus text or JSON) or the recorded spans.
     python -m repro.cli metrics graph.json --paths APC APVC --format json
@@ -286,6 +293,60 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument(
         "--trace", action="store_true",
         help="record execution spans and print the span tree to stderr",
+    )
+
+    serve_http = commands.add_parser(
+        "serve-http",
+        help="serve relevance queries over HTTP with admission control",
+    )
+    serve_http.add_argument("graph")
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8080)
+    serve_http.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="CPU worker threads query execution is offloaded to",
+    )
+    serve_http.add_argument(
+        "--tenants",
+        default=None,
+        help="JSON tenant table: API keys mapped to rate limits and "
+        "per-tenant execution limits",
+    )
+    serve_http.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        dest="queue_capacity",
+        help="bounded admission queue; excess load is shed with 503",
+    )
+    serve_http.add_argument(
+        "--allow-anonymous",
+        action="store_true",
+        dest="allow_anonymous",
+        help="accept requests without an API key as the 'anonymous' "
+        "tenant even when a tenant table is configured",
+    )
+    serve_http.add_argument(
+        "--store",
+        default=None,
+        dest="store_dir",
+        help="matrix store directory checked by GET /doctor",
+    )
+    serve_http.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        dest="deadline_ms",
+        help="server-wide default deadline per request (milliseconds)",
+    )
+    serve_http.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        dest="max_bytes",
+        help="server-wide default byte budget per request",
     )
 
     commands.add_parser(
@@ -664,6 +725,54 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.trace:
             for root in TRACER.roots:
                 print(root.render(), file=sys.stderr)
+        return 0
+
+    if args.command == "serve-http":
+        import signal
+        import threading
+
+        from .serve.admission import (
+            AdmissionController,
+            Tenant,
+            load_tenants,
+        )
+        from .serve.http import HttpServer
+
+        tenants = load_tenants(args.tenants) if args.tenants else {}
+        anonymous = (
+            Tenant("anonymous")
+            if (args.allow_anonymous or not tenants)
+            else None
+        )
+        server = HttpServer(
+            HeteSimEngine(graph),
+            admission=AdmissionController(
+                tenants,
+                queue_capacity=args.queue_capacity,
+                anonymous=anonymous,
+            ),
+            host=args.host,
+            port=args.port,
+            default_limits=_limits_from(args),
+            workers=args.workers,
+            graph_path=args.graph,
+            store_dir=args.store_dir,
+        )
+        server.start()
+        print(
+            f"serving on {server.url} "
+            "(SIGTERM or Ctrl-C drains and exits)"
+        )
+        stop = threading.Event()
+
+        def _request_stop(signum: int, frame: object) -> None:
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+        stop.wait()
+        print("draining in-flight requests...", file=sys.stderr)
+        server.stop(drain=True)
         return 0
 
     if args.command == "metrics":

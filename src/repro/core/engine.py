@@ -589,10 +589,12 @@ class HeteSimEngine:
 
         Selection-based (:func:`~repro.core.search.select_top_k`): the
         full target axis is never sorted, but the result -- including
-        the key-order tie-break -- matches ``rank(...)[:k]`` exactly.
+        the key-order tie-break -- matches ``rank(...)[:k]`` exactly;
+        ``k`` clamps like a slice (``k <= 0`` is empty, oversized ``k``
+        is the full ranking).
         """
         if k < 1:
-            raise QueryError(f"k must be >= 1, got {k}")
+            return []
         from .search import select_top_k
 
         meta = self.path(path)

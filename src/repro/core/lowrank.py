@@ -75,8 +75,18 @@ class LowRankHeteSim:
         self.rank_left = rank_left
         self.rank_right = rank_right
 
-        u_left, s_left, vt_left = svds(left, k=rank_left)
-        u_right, s_right, vt_right = svds(right, k=rank_right)
+        # ARPACK's default starting vector is drawn from a process-global
+        # RNG, which made repeated factorisations of the same half drift
+        # by the approximation error.  A constant start vector is both
+        # deterministic and well-suited here: the halves are nonnegative,
+        # so the all-ones direction cannot be orthogonal to the dominant
+        # singular subspace.
+        u_left, s_left, vt_left = svds(
+            left, k=rank_left, v0=np.ones(min(left.shape))
+        )
+        u_right, s_right, vt_right = svds(
+            right, k=rank_right, v0=np.ones(min(right.shape))
+        )
         # left  ~= (u_left * s_left) @ vt_left
         # right ~= (u_right * s_right) @ vt_right
         # left @ right' ~= A @ C @ B'  with C = vt_left @ vt_right'.
@@ -106,7 +116,11 @@ class LowRankHeteSim:
             return product
         scale_left = safe_reciprocal(self._left_norms)
         scale_right = safe_reciprocal(self._right_norms)
-        return product * scale_left[:, None] * scale_right[None, :]
+        scaled = product * scale_left[:, None] * scale_right[None, :]
+        # Rank truncation can push a cosine score epsilon outside [0, 1];
+        # the exact value always lies inside, so clamping only shrinks
+        # the approximation error.
+        return np.clip(scaled, 0.0, 1.0)
 
     def relevance(
         self, source_key: str, target_key: str, normalized: bool = True
@@ -119,7 +133,8 @@ class LowRankHeteSim:
             return value
         if self._left_norms[i] == 0 or self._right_norms[j] == 0:
             return 0.0
-        return value / (self._left_norms[i] * self._right_norms[j])
+        scaled = value / (self._left_norms[i] * self._right_norms[j])
+        return min(1.0, max(0.0, scaled))
 
     def top_k(
         self, source_key: str, k: int = 10, normalized: bool = True
@@ -133,9 +148,14 @@ class LowRankHeteSim:
             if self._left_norms[i] == 0:
                 scores = np.zeros_like(scores)
             else:
-                scores = scores * (
-                    safe_reciprocal(self._right_norms)
-                    / self._left_norms[i]
+                scores = np.clip(
+                    scores
+                    * (
+                        safe_reciprocal(self._right_norms)
+                        / self._left_norms[i]
+                    ),
+                    0.0,
+                    1.0,
                 )
         keys = self.graph.node_keys(self.path.target_type.name)
         order = sorted(

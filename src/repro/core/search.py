@@ -49,16 +49,20 @@ def select_top_k(
     tie-break of the full-sort ranking, so
     ``select_top_k(scores, keys, k) == rank(scores, keys)[:k]``
     element for element.
+
+    ``k`` clamps rather than raising: ``k <= 0`` selects nothing (an
+    empty list) and ``k > len(keys)`` selects everything, both still
+    in the deterministic ``(-score, key)`` order -- the slice
+    semantics of ``rank(...)[:k]``, which a serving tier can rely on
+    for edge-case requests instead of turning them into errors.
     """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
     scores = np.asarray(scores, dtype=float).ravel()
     n = scores.size
     if n != len(keys):
         raise QueryError(
             f"scores has {n} entries but keys has {len(keys)}"
         )
-    take = min(k, n)
+    take = max(0, min(k, n))
     if take == 0:
         return []
     if take == n:

@@ -47,6 +47,7 @@ from .trace import (
     span,
 )
 from .export import (
+    PROMETHEUS_CONTENT_TYPE,
     json_snapshot,
     prometheus_text,
     render_json,
@@ -54,6 +55,7 @@ from .export import (
 
 __all__ = [
     "Counter",
+    "PROMETHEUS_CONTENT_TYPE",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -36,7 +36,20 @@ from .metrics import (
     REGISTRY,
 )
 
-__all__ = ["prometheus_text", "json_snapshot", "render_json"]
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "prometheus_text",
+    "json_snapshot",
+    "render_json",
+]
+
+#: The exact content type a Prometheus scraper expects from a
+#: ``/metrics`` endpoint (text exposition format 0.0.4).  Serving
+#: anything else -- a bare ``text/plain``, a missing ``version`` --
+#: makes strict scrapers fall back to protobuf negotiation or reject
+#: the target, so the HTTP tier reuses this constant verbatim and a
+#: golden test pins the bytes.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _label_text(labels: LabelPairs, extra: str = "") -> str:

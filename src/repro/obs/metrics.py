@@ -205,6 +205,38 @@ class Histogram:
         out.append((float("inf"), running + slots[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile by intra-bucket interpolation.
+
+        The ``histogram_quantile`` estimate Prometheus applies server
+        side, computed locally: find the bucket the target rank lands
+        in, then interpolate linearly between its bounds (the first
+        bucket interpolates from 0).  Observations above the last
+        finite bound clamp to that bound -- the histogram stores no
+        upper edge for ``+Inf``.  Returns NaN while the histogram is
+        empty, so callers can tell "no data" from "fast".
+        """
+        if not 0.0 <= q <= 1.0:
+            raise QueryError(f"quantile q must be in [0, 1], got {q}")
+        with self._lock:
+            slots = list(self._slots)
+            count = self._count
+        if count == 0:
+            return float("nan")
+        rank = q * count
+        cumulative = 0
+        for position, slot in enumerate(slots[:-1]):
+            previous = cumulative
+            cumulative += slot
+            if cumulative >= rank:
+                lower = self.bounds[position - 1] if position else 0.0
+                upper = self.bounds[position]
+                if slot == 0:  # pragma: no cover - defensive
+                    return upper
+                fraction = (rank - previous) / slot
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
     def state(self) -> Dict[str, object]:
         """Raw (non-cumulative) state for snapshot / merge transport."""
         with self._lock:

@@ -105,6 +105,44 @@ class ExecutionLimits:
         """Start a fresh tracker (the deadline clock begins now)."""
         return LimitTracker(self, clock=clock)
 
+    def intersect(
+        self, other: Optional["ExecutionLimits"]
+    ) -> "ExecutionLimits":
+        """The element-wise *strictest* combination of two envelopes.
+
+        The multi-tenant resolution primitive: the serving tier
+        computes ``tenant_limits.intersect(server_default)`` so a
+        tenant's own envelope can only ever tighten the operator's
+        bounds, never widen them.  ``None`` fields (unlimited) defer to
+        the other side; ``intersect(None)`` returns ``self``.
+        """
+        if other is None:
+            return self
+
+        def strictest(
+            mine: Optional[float], theirs: Optional[float]
+        ) -> Optional[float]:
+            if mine is None:
+                return theirs
+            if theirs is None:
+                return mine
+            return min(mine, theirs)
+
+        def strictest_int(
+            mine: Optional[int], theirs: Optional[int]
+        ) -> Optional[int]:
+            merged = strictest(mine, theirs)
+            return None if merged is None else int(merged)
+
+        return ExecutionLimits(
+            deadline_ms=strictest(self.deadline_ms, other.deadline_ms),
+            max_nnz=strictest_int(self.max_nnz, other.max_nnz),
+            max_bytes=strictest_int(self.max_bytes, other.max_bytes),
+            max_densified_cells=strictest_int(
+                self.max_densified_cells, other.max_densified_cells
+            ),
+        )
+
 
 class LimitTracker:
     """Mutable enforcement state for one query attempt.

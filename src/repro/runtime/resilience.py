@@ -302,9 +302,16 @@ class ResilientRuntime:
         k: int = 10,
         normalized: bool = True,
     ) -> DegradedResult:
-        """Ranked top-k targets under limits; value is a (key, score) list."""
+        """Ranked top-k targets under limits; value is a (key, score) list.
+
+        ``k`` clamps like a slice: ``k <= 0`` short-circuits to an
+        exact empty ranking without touching the ladder (no work, so
+        nothing to degrade), oversized ``k`` returns the full ranking.
+        """
         if k < 1:
-            raise QueryError(f"k must be >= 1, got {k}")
+            return DegradedResult(
+                value=[], strategy="exact", degraded=False, tripped=None
+            )
         meta = self.engine.path(path)
 
         def evaluate(

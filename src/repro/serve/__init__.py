@@ -24,12 +24,28 @@ fast under *many-query* load:
   API: pre-materialise half matrices and persist them through
   :class:`~repro.core.store.MatrixStore`.
 
-The CLI exposes the same functionality as ``serve-warm`` and
-``serve-batch`` commands.
+* :class:`HttpServer` / :class:`AdmissionController` -- the network
+  tier (:mod:`repro.serve.http`, :mod:`repro.serve.admission`): a
+  stdlib-only async HTTP/1.1 front end with per-tenant API keys,
+  token-bucket rate limits, a bounded admission queue with
+  load-shedding, per-tenant execution limits, degradation-ladder
+  overload answers (provenance in ``X-Repro-*`` headers) and graceful
+  SIGTERM drain.
+
+The CLI exposes the same functionality as ``serve-warm``,
+``serve-batch`` and ``serve-http`` commands.
 """
 
 from __future__ import annotations
 
+from .admission import (
+    Admission,
+    AdmissionController,
+    Tenant,
+    TokenBucket,
+    load_tenants,
+    tenants_from_config,
+)
 from .batch import (
     BatchRequest,
     BatchResult,
@@ -40,20 +56,30 @@ from .batch import (
     serve_batch,
 )
 from .dispatch import Dispatcher, SingleFlight, WarmReport
+from .http import HttpRequest, HttpResponse, HttpServer
 from .procs import ProcessDispatcher, resolve_backend, usable_cpus
 
 __all__ = [
+    "Admission",
+    "AdmissionController",
     "BatchRequest",
     "BatchResult",
     "BatchStats",
     "Dispatcher",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
     "ProcessDispatcher",
     "Query",
     "QueryResult",
     "QueryServer",
     "SingleFlight",
+    "Tenant",
+    "TokenBucket",
     "WarmReport",
+    "load_tenants",
     "resolve_backend",
     "serve_batch",
+    "tenants_from_config",
     "usable_cpus",
 ]

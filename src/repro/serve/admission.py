@@ -1,0 +1,414 @@
+"""Admission control for the network serving tier.
+
+The HTTP front-end (:mod:`repro.serve.http`) answers untrusted
+multi-tenant traffic over one CPU-bound engine, so *who may run what,
+and when* is decided here, before any sparse matrix work starts:
+
+* :class:`Tenant` -- one API key's identity: a token-bucket rate
+  (sustained requests/second plus a burst allowance) and the
+  :class:`~repro.runtime.limits.ExecutionLimits` envelope its queries
+  run under.  Tenant limits compose with the server's default envelope
+  through :meth:`ExecutionLimits.intersect
+  <repro.runtime.limits.ExecutionLimits.intersect>` -- the stricter
+  bound always wins.
+* :class:`TokenBucket` -- the classic refill-at-``rate`` bucket with a
+  monotonic clock (RPR003: never wall-clock).  A failed acquire
+  reports *when* to retry, which the HTTP tier surfaces as a
+  ``Retry-After`` header instead of a bare rejection.
+* :class:`AdmissionController` -- key -> tenant authentication, one
+  bucket per tenant, and a bounded request queue shared by every
+  tenant.  When the queue is full the request is **shed** (HTTP 503)
+  rather than buffered without bound: under sustained overload a
+  bounded queue keeps latency finite and lets the degradation ladder
+  answer the traffic that *is* admitted.
+
+Everything is thread-safe and allocation-light: admission runs on the
+event loop's hot path for every request.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from ..hin.errors import QueryError
+from ..obs.metrics import REGISTRY
+from ..runtime.limits import ExecutionLimits
+
+_SHED = REGISTRY.counter(
+    "repro_http_shed_total",
+    "Requests refused by admission control, by reason.",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_http_queue_depth",
+    "Admitted requests currently queued or executing.",
+)
+
+__all__ = [
+    "Tenant",
+    "TokenBucket",
+    "Admission",
+    "AdmissionController",
+    "tenants_from_config",
+    "load_tenants",
+]
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One API key's serving contract.
+
+    ``rate`` is the sustained request rate (tokens per second) and
+    ``burst`` the bucket capacity -- how many requests may arrive
+    back-to-back after an idle period.  ``limits`` is the tenant's
+    :class:`~repro.runtime.limits.ExecutionLimits` envelope; the HTTP
+    tier intersects it with the server-wide default so a tenant can
+    only ever tighten, never widen, the operator's bounds.
+    """
+
+    name: str
+    rate: float = math.inf
+    burst: float = 16.0
+    limits: Optional[ExecutionLimits] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("a tenant needs a non-empty name")
+        if self.rate <= 0:
+            raise QueryError(
+                f"tenant {self.name!r}: rate must be > 0, got {self.rate}"
+            )
+        if self.burst < 1:
+            raise QueryError(
+                f"tenant {self.name!r}: burst must be >= 1, "
+                f"got {self.burst}"
+            )
+
+    def resolved_limits(
+        self, default: Optional[ExecutionLimits]
+    ) -> Optional[ExecutionLimits]:
+        """The effective envelope: tenant limits ∩ server default."""
+        if self.limits is None:
+            return default
+        return self.limits.intersect(default)
+
+
+class TokenBucket:
+    """Thread-safe token bucket over a monotonic clock.
+
+    The bucket starts full (``burst`` tokens) and refills continuously
+    at ``rate`` tokens per second up to ``burst``.  :meth:`try_acquire`
+    either takes a token and returns ``0.0``, or leaves the bucket
+    untouched and returns the seconds until one token will be
+    available -- the ``Retry-After`` the caller should advertise.
+    An infinite ``rate`` always admits.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise QueryError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise QueryError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        if math.isinf(self.rate):
+            self._tokens = self.burst
+        else:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` now, or report seconds until they exist."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            if math.isinf(self.rate):  # pragma: no cover - burst >= 1
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refilled to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class Admission:
+    """One admission decision.
+
+    ``admitted`` requests hold a queue slot the caller must give back
+    via :meth:`AdmissionController.release`.  Refusals carry the
+    ``reason`` (``"rate"``, ``"queue"`` or ``"draining"``) and a
+    ``retry_after`` hint in seconds (0 when retrying immediately is
+    reasonable, e.g. after a shed under a momentarily full queue).
+    """
+
+    admitted: bool
+    reason: Optional[str] = None
+    retry_after: float = 0.0
+
+
+@dataclass(frozen=True)
+class _TenantEntry:
+    tenant: Tenant
+    bucket: TokenBucket
+
+
+class AdmissionController:
+    """Authentication, per-tenant rate limiting and load shedding.
+
+    Parameters
+    ----------
+    tenants:
+        ``api_key -> Tenant`` mapping.  Keys are opaque strings; the
+        HTTP tier reads them from the ``X-API-Key`` header (or a
+        ``Bearer`` token).
+    queue_capacity:
+        Upper bound on requests admitted but not yet answered, across
+        all tenants.  ``0`` sheds every admission-controlled request --
+        useful for drain tests and emergency lockout.
+    anonymous:
+        Optional tenant served to requests carrying *no* key.  ``None``
+        (the default) makes authentication mandatory.
+    clock:
+        Injectable monotonic clock shared by every tenant bucket
+        (deterministic tests).
+    """
+
+    def __init__(
+        self,
+        tenants: Mapping[str, Tenant],
+        queue_capacity: int = 64,
+        anonymous: Optional[Tenant] = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if queue_capacity < 0:
+            raise QueryError(
+                f"queue_capacity must be >= 0, got {queue_capacity}"
+            )
+        names = [tenant.name for tenant in tenants.values()]
+        if anonymous is not None:
+            names.append(anonymous.name)
+        if len(set(names)) != len(names):
+            raise QueryError(
+                f"tenant names must be unique, got {sorted(names)}"
+            )
+        self.queue_capacity = queue_capacity
+        self._clock = clock
+        self._entries: Dict[str, _TenantEntry] = {
+            key: _TenantEntry(tenant, self._bucket(tenant))
+            for key, tenant in tenants.items()
+        }
+        self._anonymous: Optional[_TenantEntry] = (
+            _TenantEntry(anonymous, self._bucket(anonymous))
+            if anonymous is not None
+            else None
+        )
+        self._depth = 0
+        self._depth_lock = threading.Lock()
+        _QUEUE_DEPTH.set(0.0)
+
+    def _bucket(self, tenant: Tenant) -> TokenBucket:
+        return TokenBucket(
+            tenant.rate, tenant.burst, clock=self._clock
+        )
+
+    # -- authentication ------------------------------------------------
+    def authenticate(self, api_key: Optional[str]) -> Optional[Tenant]:
+        """The tenant behind ``api_key``, or None (-> HTTP 401).
+
+        A missing key resolves to the anonymous tenant when one is
+        configured; an *unknown* key never does -- a client that sends
+        credentials gets a verdict on those credentials.
+        """
+        if api_key is None or api_key == "":
+            entry = self._anonymous
+            return entry.tenant if entry is not None else None
+        entry = self._entries.get(api_key)
+        return entry.tenant if entry is not None else None
+
+    def _entry_for(self, tenant: Tenant) -> Optional[_TenantEntry]:
+        if (
+            self._anonymous is not None
+            and self._anonymous.tenant.name == tenant.name
+        ):
+            return self._anonymous
+        for entry in self._entries.values():
+            if entry.tenant.name == tenant.name:
+                return entry
+        return None
+
+    # -- admission -----------------------------------------------------
+    def admit(self, tenant: Tenant) -> Admission:
+        """Rate-limit then queue-bound one request for ``tenant``.
+
+        On success the caller holds one queue slot and must call
+        :meth:`release` exactly once when the request finishes (any
+        outcome).  Order matters: the bucket is consulted first so a
+        rate-limited tenant cannot occupy queue capacity, and the slot
+        is only taken when the bucket admits, so a shed never burns a
+        token the client will want for the retry.
+        """
+        entry = self._entry_for(tenant)
+        if entry is None:
+            raise QueryError(f"unknown tenant {tenant.name!r}")
+        retry_after = entry.bucket.try_acquire()
+        if retry_after > 0:
+            _SHED.labels(reason="rate").inc()
+            return Admission(
+                admitted=False, reason="rate", retry_after=retry_after
+            )
+        with self._depth_lock:
+            if self._depth >= self.queue_capacity:
+                depth = self._depth
+            else:
+                self._depth += 1
+                depth = -1
+        if depth >= 0:
+            _SHED.labels(reason="queue").inc()
+            return Admission(admitted=False, reason="queue")
+        _QUEUE_DEPTH.inc()
+        return Admission(admitted=True)
+
+    def shed_draining(self) -> Admission:
+        """Record a drain-time refusal (the server is shutting down)."""
+        _SHED.labels(reason="draining").inc()
+        return Admission(admitted=False, reason="draining")
+
+    def release(self) -> None:
+        """Give back one queue slot taken by an admitted request."""
+        with self._depth_lock:
+            if self._depth <= 0:
+                raise QueryError(
+                    "release() without a matching admitted request"
+                )
+            self._depth -= 1
+        _QUEUE_DEPTH.dec()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently holding queue slots."""
+        with self._depth_lock:
+            return self._depth
+
+
+def tenants_from_config(
+    config: Mapping[str, object],
+) -> Dict[str, Tenant]:
+    """``api_key -> Tenant`` from a plain configuration mapping.
+
+    The document shape (JSON-friendly, see ``docs/api.md``)::
+
+        {"tenants": {
+            "key-alpha": {"name": "alpha", "rate": 50, "burst": 10,
+                           "deadline_ms": 200, "max_bytes": 33554432},
+            "key-beta":  {"name": "beta"}
+        }}
+
+    ``rate`` defaults to unlimited, ``burst`` to 16; the four limit
+    fields (``deadline_ms``, ``max_nnz``, ``max_bytes``,
+    ``max_densified_cells``) are optional and become the tenant's
+    :class:`~repro.runtime.limits.ExecutionLimits`.
+    """
+    raw = config.get("tenants")
+    if not isinstance(raw, Mapping) or not raw:
+        raise QueryError(
+            "tenant config needs a non-empty 'tenants' mapping"
+        )
+    tenants: Dict[str, Tenant] = {}
+    for api_key, spec in raw.items():
+        if not isinstance(spec, Mapping):
+            raise QueryError(
+                f"tenant entry for key {api_key!r} must be a mapping"
+            )
+        unknown = set(spec) - {
+            "name",
+            "rate",
+            "burst",
+            "deadline_ms",
+            "max_nnz",
+            "max_bytes",
+            "max_densified_cells",
+        }
+        if unknown:
+            raise QueryError(
+                f"tenant entry for key {api_key!r} has unknown "
+                f"field(s) {sorted(unknown)}"
+            )
+        name = spec.get("name")
+        if not isinstance(name, str) or not name:
+            raise QueryError(
+                f"tenant entry for key {api_key!r} needs a 'name'"
+            )
+        limits = ExecutionLimits(
+            deadline_ms=_number(spec, "deadline_ms"),
+            max_nnz=_integer(spec, "max_nnz"),
+            max_bytes=_integer(spec, "max_bytes"),
+            max_densified_cells=_integer(spec, "max_densified_cells"),
+        )
+        tenants[str(api_key)] = Tenant(
+            name=name,
+            rate=float(_number(spec, "rate") or math.inf),
+            burst=float(_number(spec, "burst") or 16.0),
+            limits=None if limits.unlimited else limits,
+        )
+    return tenants
+
+
+def load_tenants(path: Union[str, Path]) -> Dict[str, Tenant]:
+    """:func:`tenants_from_config` over a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise QueryError(
+            f"could not load tenant config {path}: {exc}"
+        ) from exc
+    if not isinstance(document, Mapping):
+        raise QueryError(
+            f"tenant config {path} must be a JSON object"
+        )
+    return tenants_from_config(document)
+
+
+def _number(spec: Mapping[str, object], key: str) -> Optional[float]:
+    value = spec.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise QueryError(f"tenant field {key!r} must be a number")
+    return float(value)
+
+
+def _integer(spec: Mapping[str, object], key: str) -> Optional[int]:
+    value = spec.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise QueryError(f"tenant field {key!r} must be an integer")
+    return int(value)

@@ -95,7 +95,9 @@ class Query:
     -- or, for multi-path measures like ``combined``, a weighted path
     set such as ``"APC=0.7,APVC=0.3"``.  ``measure`` names any
     registered measure plugin (default HeteSim); ``k=None`` asks for
-    the full ranking of the target type.
+    the full ranking of the target type.  ``k`` clamps like a slice
+    (``k <= 0`` yields an empty ranking, oversized ``k`` the full
+    one), matching :func:`~repro.core.search.select_top_k`.
     """
 
     source: str
@@ -104,14 +106,15 @@ class Query:
     normalized: bool = True
     measure: str = "hetesim"
 
-    def __post_init__(self) -> None:
-        if self.k is not None and self.k < 1:
-            raise QueryError(f"k must be >= 1, got {self.k}")
-
 
 @dataclass(frozen=True)
 class BatchRequest:
     """A batch of queries plus the execution tier and concurrency.
+
+    An empty ``queries`` sequence is a valid (if trivial) batch: the
+    server answers it with a well-formed empty
+    :class:`BatchResult` rather than raising, so callers that build
+    batches from filtered inputs need no special casing.
 
     ``workers`` bounds the pool that materialises (and scores)
     distinct groups in parallel; ``workers=1`` runs everything
@@ -140,8 +143,6 @@ class BatchRequest:
         backend: str = "auto",
     ) -> None:
         queries = tuple(queries)
-        if not queries:
-            raise QueryError("a batch must contain at least one query")
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         if backend not in ("auto", "thread", "process"):
@@ -272,6 +273,10 @@ class QueryServer:
 
     def run(self, request: BatchRequest, limits=None) -> BatchResult:
         """Answer every query of ``request``; order is preserved.
+
+        An empty batch is answered, not rejected: the result carries
+        zero :class:`QueryResult` entries and well-formed stats
+        (``num_queries=0``, ``num_groups=0``).
 
         ``limits`` (an :class:`~repro.runtime.limits.ExecutionLimits`)
         bounds the whole batch with one shared tracker: the deadline

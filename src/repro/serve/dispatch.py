@@ -30,8 +30,18 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..hin.errors import QueryError
 from ..obs.trace import adopt_span, current_span
@@ -97,29 +107,53 @@ class SingleFlight:
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, Future] = {}
 
-    def do(self, key: Hashable, fn: Callable[[], R]) -> R:
-        """Return ``fn()``, shared with concurrent callers of ``key``."""
-        with self._lock:
-            future = self._inflight.get(key)
-            if future is None:
-                future = Future()
-                self._inflight[key] = future
-                owner = True
-            else:
-                owner = False
-        if not owner:
-            return future.result()
-        try:
-            result = fn()
-        except BaseException as exc:  # propagate to every waiter
-            future.set_exception(exc)
-            raise
-        else:
-            future.set_result(result)
-            return result
-        finally:
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], R],
+        timeout: Optional[float] = None,
+    ) -> R:
+        """Return ``fn()``, shared with concurrent callers of ``key``.
+
+        ``timeout`` (seconds) bounds how long a follower waits on the
+        leader's future.  A leader that dies without resolving its
+        future -- a thread killed mid-``fn``, an interpreter-level
+        error between registration and ``set_result`` -- would
+        otherwise park every follower forever.  On timeout the stale
+        future is evicted (only if it is still the registered one:
+        a *resolved-and-replaced* future must not evict its
+        successor) and the caller re-enters the election, becoming
+        the new leader or following a fresh one.  ``None`` preserves
+        the original wait-forever behaviour.
+        """
+        while True:
             with self._lock:
-                self._inflight.pop(key, None)
+                future = self._inflight.get(key)
+                if future is None:
+                    future = Future()
+                    self._inflight[key] = future
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                try:
+                    return future.result(timeout)
+                except FutureTimeout:
+                    with self._lock:
+                        if self._inflight.get(key) is future:
+                            self._inflight.pop(key, None)
+                    continue
+            try:
+                result = fn()
+            except BaseException as exc:  # propagate to every waiter
+                future.set_exception(exc)
+                raise
+            else:
+                future.set_result(result)
+                return result
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
 
 
 @dataclass(frozen=True)

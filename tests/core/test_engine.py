@@ -82,9 +82,9 @@ class TestRanking:
             "Tom", "APC"
         )[:1]
 
-    def test_top_k_invalid_k(self, fig4_engine):
-        with pytest.raises(QueryError):
-            fig4_engine.top_k("Tom", "APC", k=0)
+    def test_top_k_nonpositive_k_is_empty(self, fig4_engine):
+        assert fig4_engine.top_k("Tom", "APC", k=0) == []
+        assert fig4_engine.top_k("Tom", "APC", k=-3) == []
 
     def test_deterministic_tie_break(self, fig4_engine):
         first = fig4_engine.rank("Tom", "APC")

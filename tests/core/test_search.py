@@ -49,9 +49,18 @@ class TestSelectTopK:
             ("b", 0.0),
         ]
 
-    def test_invalid_k(self):
-        with pytest.raises(QueryError):
-            select_top_k(np.array([1.0]), ["a"], 0)
+    def test_nonpositive_k_clamps_to_empty(self):
+        assert select_top_k(np.array([1.0]), ["a"], 0) == []
+        assert select_top_k(np.array([1.0]), ["a"], -5) == []
+
+    def test_oversized_k_clamps_to_full_ranking(self):
+        scores = np.array([0.5, 1.0, 0.5])
+        keys = ["b", "a", "c"]
+        assert select_top_k(scores, keys, 99) == [
+            ("a", 1.0),
+            ("b", 0.5),
+            ("c", 0.5),
+        ]
 
     def test_mismatched_lengths(self):
         with pytest.raises(QueryError):

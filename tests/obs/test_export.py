@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.export import json_snapshot, prometheus_text, render_json
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    json_snapshot,
+    prometheus_text,
+    render_json,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -97,3 +102,34 @@ class TestJsonSnapshot:
         assert rendered.index("demo_entries") < rendered.index(
             "demo_hits_total"
         )
+
+
+class TestContentType:
+    def test_prometheus_content_type_is_exact(self):
+        # Strict scrapers reject anything but the 0.0.4 text format
+        # announcement; the HTTP tier serves this constant verbatim.
+        assert (
+            PROMETHEUS_CONTENT_TYPE
+            == "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+
+class TestSnapshotPurity:
+    """The JSON snapshot endpoint must not perturb the text exporter's
+    byte-stability: emit, snapshot, emit again, bytes identical."""
+
+    def test_json_snapshot_preserves_prometheus_bytes(self):
+        registry = make_registry()
+        before = prometheus_text(registry)
+        assert before == GOLDEN_PROMETHEUS
+        snapshot = json_snapshot(registry)
+        render_json(registry)
+        assert prometheus_text(registry) == before
+
+        # Mutating the returned snapshot must not reach the registry.
+        snapshot["demo_entries"]["series"][0]["value"] = 999.0
+        snapshot["demo_seconds"]["series"][0]["buckets"].clear()
+        assert prometheus_text(registry) == before
+        assert json_snapshot(registry)["demo_entries"]["series"][0][
+            "value"
+        ] == 7

@@ -166,3 +166,35 @@ class TestInstanceLabel:
         assert first != second
         assert first.startswith("t") and second.startswith("t")
         assert int(second[1:]) > int(first[1:])
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0, 2.0)).quantile(0.5))
+
+    def test_q_out_of_range_rejected(self):
+        histogram = Histogram(buckets=(1.0,))
+        with pytest.raises(QueryError):
+            histogram.quantile(-0.1)
+        with pytest.raises(QueryError):
+            histogram.quantile(1.1)
+
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.5, 1.5):
+            histogram.observe(value)
+        # rank 2 of 4 lands mid-bucket (1, 2]: 1 below, 3 inside.
+        assert histogram.quantile(0.5) == pytest.approx(
+            1.0 + (2.0 - 1.0) * (1.0 / 3.0)
+        )
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = Histogram(buckets=(10.0,))
+        histogram.observe(3.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+
+    def test_infinite_tail_clamps_to_last_bound(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0

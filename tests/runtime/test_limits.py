@@ -195,3 +195,28 @@ class TestBackendEnforcement:
         with execution_scope(tracker=ambient_tracker):
             # The explicit (unlimited) context wins over the ambient one.
             execute_plan(fig4, plan, context=ExecutionContext())
+
+
+class TestIntersect:
+    def test_none_other_returns_self(self):
+        limits = ExecutionLimits(deadline_ms=10)
+        assert limits.intersect(None) is limits
+
+    def test_strictest_value_wins_per_field(self):
+        mine = ExecutionLimits(deadline_ms=10, max_nnz=100)
+        theirs = ExecutionLimits(deadline_ms=50, max_nnz=20)
+        merged = mine.intersect(theirs)
+        assert merged.deadline_ms == 10
+        assert merged.max_nnz == 20
+
+    def test_disjoint_fields_union(self):
+        mine = ExecutionLimits(deadline_ms=10)
+        theirs = ExecutionLimits(max_bytes=4096, max_densified_cells=9)
+        merged = mine.intersect(theirs)
+        assert merged.deadline_ms == 10
+        assert merged.max_bytes == 4096
+        assert merged.max_densified_cells == 9
+        assert merged.max_nnz is None
+
+    def test_unlimited_intersect_unlimited(self):
+        assert ExecutionLimits().intersect(ExecutionLimits()).unlimited

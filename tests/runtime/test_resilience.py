@@ -89,9 +89,11 @@ class TestUnlimited:
         assert result.value == expected
         assert not result.degraded
 
-    def test_top_k_validates_k(self, fig4):
-        with pytest.raises(QueryError):
-            ResilientRuntime(fig4).top_k("Tom", "APC", k=0)
+    def test_top_k_clamps_nonpositive_k(self, fig4):
+        result = ResilientRuntime(fig4).top_k("Tom", "APC", k=0)
+        assert result.value == []
+        assert result.strategy == "exact"
+        assert not result.degraded
 
     def test_unknown_object_raises_query_error(self, fig4):
         with pytest.raises(QueryError):

@@ -1,0 +1,254 @@
+"""Admission control: token buckets, queue bounds, tenant config.
+
+Every timing-sensitive assertion drives the bucket with a fake
+monotonic clock, so refill arithmetic is exact and the suite never
+sleeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hin.errors import QueryError
+from repro.runtime.limits import ExecutionLimits
+from repro.serve.admission import (
+    AdmissionController,
+    Tenant,
+    TokenBucket,
+    load_tenants,
+    tenants_from_config,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # 2 tokens/s * 0.5 s = 1 token
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == 3.0
+
+    def test_retry_after_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        # 1 token at 0.5 tokens/s -> 2 seconds.
+        assert bucket.try_acquire() == pytest.approx(2.0)
+
+    def test_infinite_rate_always_admits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=math.inf, burst=1.0, clock=clock)
+        for _ in range(100):
+            assert bucket.try_acquire() == 0.0
+
+    def test_failed_acquire_leaves_tokens_untouched(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        clock.advance(0.5)
+        before = bucket.available
+        bucket.try_acquire()  # refused: only 0.5 tokens
+        assert bucket.available == pytest.approx(before)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(QueryError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenant:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            Tenant("")
+        with pytest.raises(QueryError):
+            Tenant("t", rate=0)
+        with pytest.raises(QueryError):
+            Tenant("t", burst=0)
+
+    def test_resolved_limits_intersects_with_default(self):
+        tenant = Tenant(
+            "t", limits=ExecutionLimits(deadline_ms=10, max_nnz=100)
+        )
+        default = ExecutionLimits(deadline_ms=50, max_bytes=4096)
+        merged = tenant.resolved_limits(default)
+        assert merged.deadline_ms == 10
+        assert merged.max_nnz == 100
+        assert merged.max_bytes == 4096
+
+    def test_resolved_limits_without_tenant_limits_is_default(self):
+        default = ExecutionLimits(deadline_ms=50)
+        assert Tenant("t").resolved_limits(default) is default
+        assert Tenant("t").resolved_limits(None) is None
+
+
+class TestAdmissionController:
+    def controller(self, clock=None, **kwargs):
+        tenants = {
+            "key-a": Tenant("alpha", rate=1.0, burst=2.0),
+            "key-b": Tenant("beta"),
+        }
+        return (
+            AdmissionController(
+                tenants, clock=clock or FakeClock(), **kwargs
+            ),
+            tenants,
+        )
+
+    def test_authenticate_known_key(self):
+        controller, tenants = self.controller()
+        assert controller.authenticate("key-a") is tenants["key-a"]
+
+    def test_authenticate_unknown_key_is_refused(self):
+        controller, _ = self.controller()
+        assert controller.authenticate("nope") is None
+
+    def test_missing_key_without_anonymous_is_refused(self):
+        controller, _ = self.controller()
+        assert controller.authenticate(None) is None
+        assert controller.authenticate("") is None
+
+    def test_missing_key_with_anonymous_resolves(self):
+        anonymous = Tenant("anonymous")
+        controller = AdmissionController(
+            {}, anonymous=anonymous, clock=FakeClock()
+        )
+        assert controller.authenticate(None) is anonymous
+        # An unknown key still never falls back to anonymous.
+        assert controller.authenticate("wrong") is None
+
+    def test_rate_limit_refusal_carries_retry_after(self):
+        clock = FakeClock()
+        controller, tenants = self.controller(clock=clock)
+        tenant = tenants["key-a"]
+        assert controller.admit(tenant).admitted
+        assert controller.admit(tenant).admitted
+        refusal = controller.admit(tenant)
+        assert not refusal.admitted
+        assert refusal.reason == "rate"
+        assert refusal.retry_after == pytest.approx(1.0)
+        # No queue slot was burned by the refusal.
+        assert controller.depth == 2
+
+    def test_queue_capacity_sheds(self):
+        controller, tenants = self.controller(queue_capacity=1)
+        tenant = tenants["key-b"]
+        assert controller.admit(tenant).admitted
+        refusal = controller.admit(tenant)
+        assert not refusal.admitted
+        assert refusal.reason == "queue"
+        controller.release()
+        assert controller.admit(tenant).admitted
+
+    def test_zero_capacity_sheds_everything(self):
+        controller, tenants = self.controller(queue_capacity=0)
+        refusal = controller.admit(tenants["key-b"])
+        assert refusal.reason == "queue"
+
+    def test_release_balances_depth(self):
+        controller, tenants = self.controller()
+        controller.admit(tenants["key-b"])
+        assert controller.depth == 1
+        controller.release()
+        assert controller.depth == 0
+        with pytest.raises(QueryError):
+            controller.release()
+
+    def test_shed_draining(self):
+        controller, _ = self.controller()
+        refusal = controller.shed_draining()
+        assert not refusal.admitted
+        assert refusal.reason == "draining"
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(QueryError):
+            AdmissionController(
+                {"k1": Tenant("same"), "k2": Tenant("same")}
+            )
+
+
+class TestTenantConfig:
+    CONFIG = {
+        "tenants": {
+            "key-alpha": {
+                "name": "alpha",
+                "rate": 50,
+                "burst": 10,
+                "deadline_ms": 200,
+                "max_bytes": 1 << 20,
+            },
+            "key-beta": {"name": "beta"},
+        }
+    }
+
+    def test_parses_rates_and_limits(self):
+        tenants = tenants_from_config(self.CONFIG)
+        alpha = tenants["key-alpha"]
+        assert alpha.name == "alpha"
+        assert alpha.rate == 50.0
+        assert alpha.burst == 10.0
+        assert alpha.limits.deadline_ms == 200
+        assert alpha.limits.max_bytes == 1 << 20
+        beta = tenants["key-beta"]
+        assert beta.rate == math.inf
+        assert beta.limits is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(QueryError, match="unknown"):
+            tenants_from_config(
+                {"tenants": {"k": {"name": "t", "nope": 1}}}
+            )
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(QueryError, match="name"):
+            tenants_from_config({"tenants": {"k": {"rate": 5}}})
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(QueryError):
+            tenants_from_config({})
+        with pytest.raises(QueryError):
+            tenants_from_config({"tenants": {}})
+
+    def test_load_tenants_round_trip(self, tmp_path):
+        import json
+
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(self.CONFIG))
+        tenants = load_tenants(path)
+        assert set(tenants) == {"key-alpha", "key-beta"}
+
+    def test_load_tenants_bad_file(self, tmp_path):
+        with pytest.raises(QueryError):
+            load_tenants(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(QueryError):
+            load_tenants(bad)

@@ -175,17 +175,26 @@ class TestGrouping:
 
 
 class TestValidation:
-    def test_empty_batch_rejected(self):
-        with pytest.raises(QueryError):
-            BatchRequest([])
+    def test_empty_batch_answers_empty(self, server):
+        result = server.run(BatchRequest([]))
+        assert result.results == ()
+        assert result.rankings() == []
+        assert result.stats.num_queries == 0
+        assert result.stats.num_groups == 0
+        assert result.stats.group_sizes == ()
 
     def test_bad_workers_rejected(self, hin):
         with pytest.raises(QueryError):
             BatchRequest([Query("A0", "APC")], workers=0)
 
-    def test_bad_k_rejected(self):
-        with pytest.raises(QueryError):
-            Query("A0", "APC", k=0)
+    def test_nonpositive_k_yields_empty_ranking(self, server):
+        result = server.run(
+            BatchRequest(
+                [Query("A0", "APC", k=0), Query("A0", "APC", k=2)]
+            )
+        )
+        assert result.results[0].ranking == ()
+        assert len(result.results[1].ranking) == 2
 
     def test_unknown_source_names_position(self, hin, server):
         with pytest.raises(QueryError, match="#1"):

@@ -125,3 +125,76 @@ class TestSingleFlight:
         flight = SingleFlight()
         assert flight.do("a", lambda: 1) == 1
         assert flight.do("b", lambda: 2) == 2
+
+
+class TestSingleFlightTimeout:
+    """Regression: a leader that dies without resolving its future must
+    not park followers forever -- a bounded wait re-elects a leader."""
+
+    def test_follower_reelects_after_dead_leader(self):
+        flight = SingleFlight()
+        from concurrent.futures import Future
+
+        stale = Future()  # a leader registered this, then died
+        with flight._lock:
+            flight._inflight["key"] = stale
+        assert flight.do("key", lambda: "fresh", timeout=0.05) == "fresh"
+        # The stale future was evicted; the key is free again.
+        assert "key" not in flight._inflight
+
+    def test_timeout_unused_when_leader_resolves_in_time(self):
+        flight = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def slow():
+            started.set()
+            release.wait(timeout=5)
+            return "value"
+
+        leader = threading.Thread(
+            target=lambda: results.update(leader=flight.do("key", slow))
+        )
+        leader.start()
+        started.wait(timeout=5)
+        follower = threading.Thread(
+            target=lambda: results.update(
+                follower=flight.do(
+                    "key",
+                    lambda: pytest.fail("follower computed"),
+                    timeout=5.0,
+                )
+            )
+        )
+        follower.start()
+        release.set()
+        leader.join(timeout=5)
+        follower.join(timeout=5)
+        assert results == {"leader": "value", "follower": "value"}
+
+    def test_timeout_does_not_evict_a_successor(self):
+        flight = SingleFlight()
+        from concurrent.futures import Future
+
+        stale = Future()
+        with flight._lock:
+            flight._inflight["key"] = stale
+
+        follower_done = threading.Event()
+        results = {}
+
+        def follower():
+            results["value"] = flight.do(
+                "key", lambda: "reelected", timeout=0.05
+            )
+            follower_done.set()
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        follower_done.wait(timeout=5)
+        thread.join(timeout=5)
+        assert results["value"] == "reelected"
+        # Resolving the stale future later is harmless.
+        stale.set_result("late")
+        assert flight.do("key", lambda: "next") == "next"

@@ -1,0 +1,419 @@
+"""Socket-level integration tests for the HTTP serving tier.
+
+Every test drives a real ``HttpServer`` bound to an ephemeral
+127.0.0.1 port through ``http.client`` -- request parsing, routing,
+admission, degradation provenance and drain are all exercised over the
+wire, not by calling handlers directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.core.engine import HeteSimEngine
+from repro.datasets.toy import fig4_network
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.runtime.limits import ExecutionLimits
+from repro.serve import (
+    AdmissionController,
+    HttpServer,
+    Tenant,
+)
+
+
+def request(
+    server, method, path, body=None, headers=None, key=None
+):
+    """One request over a fresh connection; returns (status, headers,
+    parsed-JSON-or-bytes)."""
+    connection = HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        send_headers = dict(headers or {})
+        if key is not None:
+            send_headers["X-API-Key"] = key
+        raw = (
+            json.dumps(body).encode() if isinstance(body, dict) else body
+        )
+        connection.request(method, path, body=raw, headers=send_headers)
+        response = connection.getresponse()
+        payload = response.read()
+        header_map = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        if header_map.get("content-type", "").startswith(
+            "application/json"
+        ):
+            payload = json.loads(payload)
+        return response.status, header_map, payload
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def engine():
+    return HeteSimEngine(fig4_network())
+
+
+@pytest.fixture()
+def server(engine):
+    with HttpServer(engine) as running:
+        yield running
+
+
+class TestRouting:
+    def test_healthz(self, server):
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_metrics_content_type_is_prometheus(self, server):
+        status, headers, body = request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        assert b"# TYPE" in body
+
+    def test_metrics_json(self, server):
+        request(
+            server,
+            "POST",
+            "/query",
+            {"source": "Tom", "target": "KDD", "path": "APC"},
+        )
+        status, headers, body = request(server, "GET", "/metrics/json")
+        assert status == 200
+        assert "repro_http_requests_total" in body
+
+    def test_request_metrics_recorded(self, server):
+        request(
+            server,
+            "POST",
+            "/query",
+            {"source": "Tom", "target": "KDD", "path": "APC"},
+        )
+        _, _, text = request(server, "GET", "/metrics")
+        assert (
+            b'repro_http_requests_total{endpoint="query",status="200"}'
+            in text
+        )
+
+    def test_doctor_in_memory(self, server):
+        status, _, body = request(server, "GET", "/doctor")
+        assert status == 200
+        assert body["ok"] is True
+
+    def test_unknown_route_404(self, server):
+        status, _, body = request(server, "GET", "/nope")
+        assert status == 404
+        assert body["error"] == "not_found"
+
+    def test_wrong_method_405(self, server):
+        status, headers, _ = request(server, "GET", "/query")
+        assert status == 405
+        assert headers["allow"] == "POST"
+        status, headers, _ = request(server, "POST", "/healthz", {})
+        assert status == 405
+        assert headers["allow"] == "GET"
+
+    def test_malformed_json_400(self, server):
+        status, _, body = request(server, "POST", "/query", b"oops")
+        assert status == 400
+        assert "invalid JSON" in body["detail"]
+
+    def test_missing_field_400(self, server):
+        status, _, body = request(
+            server, "POST", "/query", {"source": "Tom"}
+        )
+        assert status == 400
+
+    def test_unknown_source_is_400_not_500(self, server):
+        status, _, body = request(
+            server,
+            "POST",
+            "/query",
+            {"source": "Nobody", "target": "KDD", "path": "APC"},
+        )
+        assert status == 400
+        assert body["error"] == "QueryError"
+
+    def test_keep_alive_serves_sequential_requests(self, server):
+        connection = HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+
+class TestQueryEndpoints:
+    def test_query_matches_engine(self, server, engine):
+        status, headers, body = request(
+            server,
+            "POST",
+            "/query",
+            {"source": "Tom", "target": "KDD", "path": "APC"},
+        )
+        assert status == 200
+        assert body["score"] == pytest.approx(
+            engine.relevance("Tom", "KDD", "APC")
+        )
+        assert headers["x-repro-strategy"] == "exact"
+        assert headers["x-repro-degraded"] == "false"
+        assert "x-repro-tripped" not in headers
+
+    def test_topk_matches_engine(self, server, engine):
+        status, _, body = request(
+            server,
+            "POST",
+            "/topk",
+            {"source": "Tom", "path": "APC", "k": 2},
+        )
+        assert status == 200
+        expected = engine.top_k("Tom", "APC", k=2)
+        assert [tuple(item) for item in body["ranking"]] == [
+            (key, pytest.approx(score)) for key, score in expected
+        ]
+
+    def test_topk_nonpositive_k_is_empty_200(self, server):
+        status, _, body = request(
+            server,
+            "POST",
+            "/topk",
+            {"source": "Tom", "path": "APC", "k": 0},
+        )
+        assert status == 200
+        assert body["ranking"] == []
+
+    def test_batch_matches_query_server(self, server, engine):
+        status, _, body = request(
+            server,
+            "POST",
+            "/batch",
+            {
+                "queries": [
+                    {"source": "Tom", "path": "APC", "k": 3},
+                    {"source": "Mary", "path": "APC", "k": 3},
+                ]
+            },
+        )
+        assert status == 200
+        assert body["stats"]["num_queries"] == 2
+        assert body["stats"]["num_groups"] == 1
+        tom = body["results"][0]["ranking"]
+        assert [tuple(item) for item in tom] == [
+            (key, pytest.approx(score))
+            for key, score in engine.top_k("Tom", "APC", k=3)
+        ]
+
+    def test_empty_batch_answers_200(self, server):
+        status, _, body = request(
+            server, "POST", "/batch", {"queries": []}
+        )
+        assert status == 200
+        assert body["results"] == []
+        assert body["stats"]["num_queries"] == 0
+
+    def test_warm(self, server):
+        status, _, body = request(
+            server, "POST", "/warm", {"paths": ["APC", "APCPA"]}
+        )
+        assert status == 200
+        assert body["paths"] == ["APC", "APCPA"]
+
+
+class TestAdmission:
+    @pytest.fixture()
+    def auth_server(self, engine):
+        tenants = {
+            "key-burst1": Tenant("burst1", rate=0.01, burst=1.0),
+            "key-open": Tenant("open"),
+        }
+        with HttpServer(
+            engine,
+            admission=AdmissionController(tenants, queue_capacity=8),
+        ) as running:
+            yield running
+
+    BODY = {"source": "Tom", "target": "KDD", "path": "APC"}
+
+    def test_missing_key_401(self, auth_server):
+        status, headers, body = request(
+            auth_server, "POST", "/query", self.BODY
+        )
+        assert status == 401
+        assert headers["www-authenticate"] == "ApiKey"
+        assert body["error"] == "unauthorized"
+
+    def test_unknown_key_401(self, auth_server):
+        status, _, _ = request(
+            auth_server, "POST", "/query", self.BODY, key="wrong"
+        )
+        assert status == 401
+
+    def test_bearer_token_accepted(self, auth_server):
+        status, _, _ = request(
+            auth_server,
+            "POST",
+            "/query",
+            self.BODY,
+            headers={"Authorization": "Bearer key-open"},
+        )
+        assert status == 200
+
+    def test_unauthenticated_gets_stay_open(self, auth_server):
+        assert request(auth_server, "GET", "/healthz")[0] == 200
+        assert request(auth_server, "GET", "/metrics")[0] == 200
+
+    def test_rate_limit_429_with_retry_after(self, auth_server):
+        first, _, _ = request(
+            auth_server, "POST", "/query", self.BODY, key="key-burst1"
+        )
+        assert first == 200
+        status, headers, body = request(
+            auth_server, "POST", "/query", self.BODY, key="key-burst1"
+        )
+        assert status == 429
+        assert body["error"] == "rate_limited"
+        assert float(headers["retry-after"]) > 0
+
+    def test_queue_full_503(self, engine):
+        with HttpServer(
+            engine,
+            admission=AdmissionController(
+                {"k": Tenant("t")}, queue_capacity=0
+            ),
+        ) as running:
+            status, headers, body = request(
+                running, "POST", "/query", self.BODY, key="k"
+            )
+        assert status == 503
+        assert body["error"] == "overloaded"
+        assert headers["retry-after"] == "1"
+
+
+class TestDegradation:
+    """Overload must answer through the ladder with provenance headers,
+    never a blind 500.  A zero deadline on a cold engine trips at the
+    first materialisation checkpoint deterministically."""
+
+    @pytest.fixture()
+    def strict_server(self):
+        engine = HeteSimEngine(fig4_network())  # cold: no memoised halves
+        tenants = {
+            "key-strict": Tenant(
+                "strict", limits=ExecutionLimits(deadline_ms=0.0)
+            )
+        }
+        with HttpServer(
+            engine,
+            admission=AdmissionController(tenants, queue_capacity=8),
+        ) as running:
+            yield running
+
+    def test_query_degrades_with_provenance(self, strict_server):
+        status, headers, body = request(
+            strict_server,
+            "POST",
+            "/query",
+            {"source": "Tom", "target": "KDD", "path": "APC"},
+            key="key-strict",
+        )
+        assert status == 200
+        assert headers["x-repro-degraded"] == "true"
+        assert headers["x-repro-tripped"] == "deadline"
+        assert headers["x-repro-strategy"] != "exact"
+        assert body["degraded"] is True
+
+    def test_batch_floor_retry_with_provenance(self, strict_server):
+        status, headers, body = request(
+            strict_server,
+            "POST",
+            "/batch",
+            {"queries": [{"source": "Tom", "path": "APC", "k": 2}]},
+            key="key-strict",
+        )
+        assert status == 200
+        assert headers["x-repro-strategy"] == "truncate-final"
+        assert headers["x-repro-tripped"] == "deadline"
+        assert headers["x-repro-degraded"] == "true"
+        assert body["results"][0]["ranking"]  # still a real answer
+
+    def test_degraded_counter_increments(self, strict_server):
+        request(
+            strict_server,
+            "POST",
+            "/query",
+            {"source": "Tom", "target": "KDD", "path": "APC"},
+            key="key-strict",
+        )
+        _, _, text = request(strict_server, "GET", "/metrics")
+        assert b"repro_http_degraded_total" in text
+
+
+class TestDrain:
+    def test_inflight_request_completes_during_drain(self, engine):
+        server = HttpServer(engine, drain_grace_s=10.0)
+        server.start()
+        entered = threading.Event()
+        release = threading.Event()
+        original = server.server.run
+
+        def slow_run(batch, limits=None):
+            entered.set()
+            release.wait(timeout=10)
+            return original(batch, limits=limits)
+
+        server.server.run = slow_run
+        outcome = {}
+
+        def client():
+            outcome["response"] = request(
+                server,
+                "POST",
+                "/batch",
+                {"queries": [{"source": "Tom", "path": "APC", "k": 2}]},
+            )
+
+        worker = threading.Thread(target=client)
+        worker.start()
+        assert entered.wait(timeout=10)
+        port = server.port
+
+        stopper = threading.Thread(
+            target=lambda: server.stop(drain=True)
+        )
+        stopper.start()
+        # Give the drain a moment to close the listener, then release
+        # the in-flight request; drain must wait for it.
+        time.sleep(0.1)
+        assert stopper.is_alive()
+        release.set()
+        worker.join(timeout=10)
+        stopper.join(timeout=10)
+        status, headers, body = outcome["response"]
+        assert status == 200
+        assert body["results"][0]["ranking"]
+
+        # The listener is gone: fresh connections are refused.
+        with pytest.raises(OSError):
+            connection = HTTPConnection("127.0.0.1", port, timeout=2)
+            connection.request("GET", "/healthz")
+            connection.getresponse()
+
+    def test_healthz_reports_draining(self, engine):
+        server = HttpServer(engine).start()
+        try:
+            assert (
+                request(server, "GET", "/healthz")[2]["status"] == "ok"
+            )
+        finally:
+            server.stop(drain=True)
